@@ -1,0 +1,301 @@
+package gebe
+
+// Benchmarks mirroring the paper's evaluation section, one family per
+// table/figure. Each benchmark measures the embedding-construction (and,
+// for the tables, evaluation) pipeline on reduced inputs so that
+// `go test -bench=. -benchmem` finishes in minutes; the full-size runs
+// are produced by `go run ./cmd/gebe-bench -exp all` and recorded in
+// EXPERIMENTS.md.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"gebe/internal/baselines"
+	"gebe/internal/bigraph"
+	"gebe/internal/core"
+	"gebe/internal/eval"
+	"gebe/internal/gen"
+	"gebe/internal/pmf"
+)
+
+const benchK = 32
+
+// benchGraph caches stand-in graphs across benchmark iterations.
+var benchGraphs = map[string]*bigraph.Graph{}
+
+func benchGraph(b *testing.B, name string) *bigraph.Graph {
+	b.Helper()
+	if g, ok := benchGraphs[name]; ok {
+		return g
+	}
+	ds, err := gen.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := ds.Build(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchGraphs[name] = g
+	return g
+}
+
+func gebeOpts(om pmf.PMF) core.Options {
+	return core.Options{K: benchK, PMF: om, Tau: 20, Iters: 200, Tol: 1e-5, Seed: 1}
+}
+
+// BenchmarkTable4 measures the full top-10 recommendation pipeline
+// (embed + rank + score) per method on the DBLP stand-in, reporting the
+// F1@10 each method achieves.
+func BenchmarkTable4(b *testing.B) {
+	g := benchGraph(b, "dblp")
+	ds, _ := gen.ByName("dblp")
+	core10, _, _ := g.KCore(ds.CoreK)
+	train, test := core10.Split(0.6, 2)
+	run := func(b *testing.B, embed func() (*core.Embedding, error)) {
+		b.Helper()
+		var f1 float64
+		for i := 0; i < b.N; i++ {
+			e, err := embed()
+			if err != nil {
+				b.Fatal(err)
+			}
+			f1 = eval.TopN(train, test, e.U, e.V, 10, 1).F1
+		}
+		b.ReportMetric(f1, "F1@10")
+	}
+	b.Run("GEBEP", func(b *testing.B) {
+		run(b, func() (*core.Embedding, error) {
+			return core.GEBEP(train, core.Options{K: benchK, Lambda: 1, Epsilon: 0.1, Seed: 1})
+		})
+	})
+	b.Run("GEBE-Poisson", func(b *testing.B) {
+		run(b, func() (*core.Embedding, error) { return core.GEBE(train, gebeOpts(pmf.NewPoisson(1))) })
+	})
+	b.Run("GEBE-Geometric", func(b *testing.B) {
+		run(b, func() (*core.Embedding, error) { return core.GEBE(train, gebeOpts(pmf.NewGeometric(0.5))) })
+	})
+	b.Run("GEBE-Uniform", func(b *testing.B) {
+		run(b, func() (*core.Embedding, error) { return core.GEBE(train, gebeOpts(pmf.NewUniform(20))) })
+	})
+	b.Run("MHP-BNE", func(b *testing.B) {
+		run(b, func() (*core.Embedding, error) { return core.MHPBNE(train, gebeOpts(pmf.NewPoisson(1))) })
+	})
+	b.Run("MHS-BNE", func(b *testing.B) {
+		run(b, func() (*core.Embedding, error) { return core.MHSBNE(train, gebeOpts(pmf.NewPoisson(1))) })
+	})
+	for _, name := range []string{"NRP", "BPR", "LINE"} {
+		m, err := baselines.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			run(b, func() (*core.Embedding, error) {
+				u, v, err := m.Train(train, benchK, 1, 1, time.Time{})
+				if err != nil {
+					return nil, err
+				}
+				return &core.Embedding{U: u, V: v, Method: name}, nil
+			})
+		})
+	}
+}
+
+// BenchmarkTable5 measures the link-prediction pipeline per method on
+// the Wikipedia stand-in, reporting AUC-ROC.
+func BenchmarkTable5(b *testing.B) {
+	full := benchGraph(b, "wikipedia")
+	train, test := full.Split(0.6, 3)
+	run := func(b *testing.B, embed func() (*core.Embedding, error)) {
+		b.Helper()
+		var auc float64
+		for i := 0; i < b.N; i++ {
+			e, err := embed()
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := eval.LinkPred(full, train, test, e.U, e.V, eval.LinkPredOptions{Seed: 5})
+			if err != nil {
+				b.Fatal(err)
+			}
+			auc = res.AUCROC
+		}
+		b.ReportMetric(auc, "AUC-ROC")
+	}
+	b.Run("GEBEP", func(b *testing.B) {
+		run(b, func() (*core.Embedding, error) {
+			return core.GEBEP(train, core.Options{K: benchK, Lambda: 1, Epsilon: 0.1, Seed: 1})
+		})
+	})
+	b.Run("GEBE-Poisson", func(b *testing.B) {
+		run(b, func() (*core.Embedding, error) { return core.GEBE(train, gebeOpts(pmf.NewPoisson(1))) })
+	})
+	for _, name := range []string{"NRP", "LINE"} {
+		m, err := baselines.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			run(b, func() (*core.Embedding, error) {
+				u, v, err := m.Train(train, benchK, 1, 1, time.Time{})
+				if err != nil {
+					return nil, err
+				}
+				return &core.Embedding{U: u, V: v, Method: name}, nil
+			})
+		})
+	}
+}
+
+// BenchmarkFig2 measures pure embedding-construction time (the paper's
+// Figure 2 quantity) for the two headline methods across three stand-ins
+// of increasing size.
+func BenchmarkFig2(b *testing.B) {
+	for _, name := range []string{"dblp", "wikipedia", "yelp"} {
+		g := benchGraph(b, name)
+		b.Run("GEBEP/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.GEBEP(g, core.Options{K: benchK, Lambda: 1, Epsilon: 0.1, Seed: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("GEBE-Poisson/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.GEBE(g, gebeOpts(pmf.NewPoisson(1))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig3 measures GEBE^p scalability on bipartite Erdős–Rényi
+// graphs: 3(a) varies nodes at fixed |E|, 3(b) varies edges at fixed
+// nodes (endpoints of the scaled grids; the full grids run via
+// `gebe-bench -exp fig3`).
+func BenchmarkFig3(b *testing.B) {
+	for _, n := range []int{1000, 5000} {
+		g, err := gen.ER(n/2, n/2, 50000, false, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("a-nodes-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.GEBEP(g, core.Options{K: benchK, Seed: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, e := range []int{100000, 500000} {
+		g, err := gen.ER(2500, 2500, e, false, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("b-edges-%d", e), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.GEBEP(g, core.Options{K: benchK, Seed: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig4 sweeps GEBE^p's λ and ε and GEBE (Poisson)'s τ on the
+// DBLP stand-in, reporting F1@10 at each setting (Figure 4's series).
+func BenchmarkFig4(b *testing.B) {
+	g := benchGraph(b, "dblp")
+	ds, _ := gen.ByName("dblp")
+	core10, _, _ := g.KCore(ds.CoreK)
+	train, test := core10.Split(0.6, 2)
+	f1Of := func(e *core.Embedding) float64 {
+		return eval.TopN(train, test, e.U, e.V, 10, 1).F1
+	}
+	for _, lam := range []float64{1, 3, 5} {
+		b.Run(fmt.Sprintf("lambda-%.0f", lam), func(b *testing.B) {
+			var f1 float64
+			for i := 0; i < b.N; i++ {
+				e, err := core.GEBEP(train, core.Options{K: benchK, Lambda: lam, Epsilon: 0.1, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				f1 = f1Of(e)
+			}
+			b.ReportMetric(f1, "F1@10")
+		})
+	}
+	for _, eps := range []float64{0.1, 0.5, 0.9} {
+		b.Run(fmt.Sprintf("epsilon-%.1f", eps), func(b *testing.B) {
+			var f1 float64
+			for i := 0; i < b.N; i++ {
+				e, err := core.GEBEP(train, core.Options{K: benchK, Lambda: 1, Epsilon: eps, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				f1 = f1Of(e)
+			}
+			b.ReportMetric(f1, "F1@10")
+		})
+	}
+	for _, tau := range []int{1, 5, 20} {
+		b.Run(fmt.Sprintf("tau-%d", tau), func(b *testing.B) {
+			var f1 float64
+			for i := 0; i < b.N; i++ {
+				opt := gebeOpts(pmf.NewPoisson(1))
+				opt.Tau = tau
+				e, err := core.GEBE(train, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				f1 = f1Of(e)
+			}
+			b.ReportMetric(f1, "F1@10")
+		})
+	}
+}
+
+// BenchmarkFig5 sweeps the same parameters measured by link-prediction
+// AUC-ROC on the Wikipedia stand-in (Figure 5's series).
+func BenchmarkFig5(b *testing.B) {
+	full := benchGraph(b, "wikipedia")
+	train, test := full.Split(0.6, 3)
+	aucOf := func(e *core.Embedding) float64 {
+		res, err := eval.LinkPred(full, train, test, e.U, e.V, eval.LinkPredOptions{Seed: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.AUCROC
+	}
+	for _, lam := range []float64{1, 3, 5} {
+		b.Run(fmt.Sprintf("lambda-%.0f", lam), func(b *testing.B) {
+			var auc float64
+			for i := 0; i < b.N; i++ {
+				e, err := core.GEBEP(train, core.Options{K: benchK, Lambda: lam, Epsilon: 0.1, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				auc = aucOf(e)
+			}
+			b.ReportMetric(auc, "AUC-ROC")
+		})
+	}
+	for _, tau := range []int{1, 5, 20} {
+		b.Run(fmt.Sprintf("tau-%d", tau), func(b *testing.B) {
+			var auc float64
+			for i := 0; i < b.N; i++ {
+				opt := gebeOpts(pmf.NewPoisson(1))
+				opt.Tau = tau
+				e, err := core.GEBE(train, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				auc = aucOf(e)
+			}
+			b.ReportMetric(auc, "AUC-ROC")
+		})
+	}
+}

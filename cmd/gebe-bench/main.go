@@ -1,0 +1,81 @@
+// Command gebe-bench regenerates the paper's tables and figures on the
+// synthetic stand-in datasets.
+//
+// Usage:
+//
+//	gebe-bench -exp table4            # top-N recommendation (Table 4)
+//	gebe-bench -exp table5            # link prediction (Table 5)
+//	gebe-bench -exp fig2              # embedding time, all methods (Figure 2)
+//	gebe-bench -exp fig3              # scalability on ER graphs (Figure 3)
+//	gebe-bench -exp fig4              # parameter sweeps, recommendation (Figure 4)
+//	gebe-bench -exp fig5              # parameter sweeps, link prediction (Figure 5)
+//	gebe-bench -exp all
+//
+// Restrict work with -datasets dblp,movielens and -methods "GEBE^p,NRP".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gebe/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: table4|table5|fig2|fig3|fig4|fig5|tablen|ablation|all")
+		k        = flag.Int("k", 32, "embedding dimensionality")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		threads  = flag.Int("threads", 1, "solver threads (paper uses 1)")
+		budget   = flag.Duration("budget", 60*time.Second, "per-method time budget (paper: 3 days)")
+		datasets = flag.String("datasets", "", "comma-separated dataset filter")
+		methods  = flag.String("methods", "", "comma-separated method filter")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		K: *k, Seed: *seed, Threads: *threads, TimeBudget: *budget,
+		Datasets: splitList(*datasets), Methods: splitList(*methods),
+		Out: os.Stdout,
+	}
+	extensions := map[string]bool{"tablen": true, "ablation": true}
+	run := func(name string, f func(experiments.Config) error) {
+		if *exp != name && (*exp != "all" || extensions[name]) {
+			return
+		}
+		fmt.Printf("\n############ %s ############\n", name)
+		if err := f(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "gebe-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	run("table4", func(c experiments.Config) error { _, err := experiments.Table4(c); return err })
+	run("table5", func(c experiments.Config) error { _, err := experiments.Table5(c); return err })
+	run("fig2", func(c experiments.Config) error { _, err := experiments.Fig2(c); return err })
+	run("fig3", func(c experiments.Config) error { _, err := experiments.Fig3(c); return err })
+	run("fig4", func(c experiments.Config) error { _, err := experiments.Fig4(c); return err })
+	run("fig5", func(c experiments.Config) error { _, err := experiments.Fig5(c); return err })
+	run("tablen", func(c experiments.Config) error { _, err := experiments.TableN(c, nil); return err })
+	run("ablation", func(c experiments.Config) error { _, err := experiments.Ablations(c); return err })
+
+	switch *exp {
+	case "table4", "table5", "fig2", "fig3", "fig4", "fig5", "tablen", "ablation", "all":
+	default:
+		fmt.Fprintf(os.Stderr, "gebe-bench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}

@@ -1,0 +1,116 @@
+// Command gebe-datagen synthesizes the stand-in datasets (or custom
+// graphs) as edge-list files.
+//
+// Usage:
+//
+//	gebe-datagen -dataset movielens -out movielens.tsv          # one stand-in
+//	gebe-datagen -all -dir data/                                # all ten
+//	gebe-datagen -er -nu 5000 -nv 5000 -ne 100000 -out er.tsv   # ER graph
+//	gebe-datagen -dataset dblp -split 0.6 -out dblp.tsv         # + .train/.test
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gebe/internal/bigraph"
+	"gebe/internal/gen"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "", "stand-in name (see -list)")
+		list    = flag.Bool("list", false, "list available stand-ins")
+		all     = flag.Bool("all", false, "generate all ten stand-ins into -dir")
+		dir     = flag.String("dir", ".", "output directory for -all")
+		out     = flag.String("out", "", "output edge list path")
+		er      = flag.Bool("er", false, "generate a bipartite Erdős–Rényi graph")
+		nu      = flag.Int("nu", 1000, "ER: |U|")
+		nv      = flag.Int("nv", 1000, "ER: |V|")
+		ne      = flag.Int("ne", 10000, "ER: |E|")
+		wflag   = flag.Bool("weighted", false, "ER: weighted edges")
+		split   = flag.Float64("split", 0, "also write <out>.train/<out>.test with this train fraction")
+		seed    = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		fmt.Println("name        |U|     |V|     |E|      type       (paper size)")
+		for _, d := range gen.Datasets() {
+			kind := "unweighted"
+			if d.Weighted {
+				kind = "weighted"
+			}
+			fmt.Printf("%-11s %-7d %-7d %-8d %-10s (%d x %d, %d edges)\n",
+				d.Name, d.NU, d.NV, d.NE, kind, d.PaperNU, d.PaperNV, d.PaperNE)
+		}
+	case *all:
+		for _, d := range gen.Datasets() {
+			g, err := d.Build(*seed)
+			if err != nil {
+				fail(err)
+			}
+			path := filepath.Join(*dir, d.Name+".tsv")
+			if err := g.SaveEdgeList(path); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s: %v\n", path, g.Stats())
+		}
+	case *er:
+		requireOut(*out)
+		g, err := gen.ER(*nu, *nv, *ne, *wflag, *seed)
+		if err != nil {
+			fail(err)
+		}
+		write(g, *out, *split, *seed)
+	case *dataset != "":
+		requireOut(*out)
+		d, err := gen.ByName(*dataset)
+		if err != nil {
+			fail(err)
+		}
+		g, err := d.Build(*seed)
+		if err != nil {
+			fail(err)
+		}
+		write(g, *out, *split, *seed)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func write(g *bigraph.Graph, out string, split float64, seed uint64) {
+	if err := g.SaveEdgeList(out); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %s: %v\n", out, g.Stats())
+	if split > 0 {
+		train, test := g.Split(split, seed)
+		testGraph := &bigraph.Graph{NU: g.NU, NV: g.NV, Edges: test,
+			ULabels: g.ULabels, VLabels: g.VLabels, Weighted: g.Weighted}
+		if err := train.SaveEdgeList(out + ".train"); err != nil {
+			fail(err)
+		}
+		if err := testGraph.SaveEdgeList(out + ".test"); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s.train (%d edges) and %s.test (%d edges)\n",
+			out, train.NumEdges(), out, len(test))
+	}
+}
+
+func requireOut(out string) {
+	if out == "" {
+		fmt.Fprintln(os.Stderr, "gebe-datagen: -out is required")
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "gebe-datagen:", err)
+	os.Exit(1)
+}

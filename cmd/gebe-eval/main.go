@@ -1,0 +1,132 @@
+// Command gebe-eval evaluates a saved embedding on the paper's two
+// downstream tasks.
+//
+// Top-N recommendation (train/test edge lists produced by any split):
+//
+//	gebe-eval -task topn -train train.tsv -test test.tsv -emb emb.tsv -n 10
+//
+// Link prediction (full graph + residual training graph + removed edges):
+//
+//	gebe-eval -task linkpred -full graph.tsv -train train.tsv -test test.tsv -emb emb.tsv
+//
+// Node identifiers in the edge lists must densify to the same index
+// space the embedding was trained on (i.e., come from the same files).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gebe"
+	"gebe/internal/bigraph"
+	"gebe/internal/eval"
+)
+
+func main() {
+	var (
+		task     = flag.String("task", "topn", "topn | linkpred")
+		trainP   = flag.String("train", "", "training edge list")
+		testP    = flag.String("test", "", "held-out edge list")
+		fullP    = flag.String("full", "", "full edge list (linkpred negatives)")
+		embP     = flag.String("emb", "", "embedding file from cmd/gebe")
+		n        = flag.Int("n", 10, "top-N cutoff")
+		seed     = flag.Uint64("seed", 1, "random seed (negative sampling)")
+		threads  = flag.Int("threads", 4, "ranking threads")
+		features = flag.String("features", "concat", "linkpred features: concat | hadamard | both")
+	)
+	flag.Parse()
+	if *trainP == "" || *testP == "" || *embP == "" {
+		fmt.Fprintln(os.Stderr, "gebe-eval: -train, -test and -emb are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	train, err := gebe.LoadGraph(*trainP)
+	if err != nil {
+		fail(err)
+	}
+	emb, err := gebe.LoadEmbedding(*embP)
+	if err != nil {
+		fail(err)
+	}
+	if emb.U.Rows < train.NU || emb.V.Rows < train.NV {
+		fail(fmt.Errorf("embedding covers %dx%d nodes but training graph has %dx%d",
+			emb.U.Rows, emb.V.Rows, train.NU, train.NV))
+	}
+	test, err := loadTestEdges(*testP, train)
+	if err != nil {
+		fail(err)
+	}
+
+	switch *task {
+	case "topn":
+		res := eval.TopN(train, test, emb.U, emb.V, *n, *threads)
+		fmt.Printf("users=%d F1@%d=%.4f NDCG@%d=%.4f MRR@%d=%.4f\n",
+			res.Users, *n, res.F1, *n, res.NDCG, *n, res.MRR)
+	case "linkpred":
+		if *fullP == "" {
+			fail(fmt.Errorf("linkpred requires -full"))
+		}
+		full, err := gebe.LoadGraph(*fullP)
+		if err != nil {
+			fail(err)
+		}
+		mode := eval.FeatureConcat
+		switch *features {
+		case "hadamard":
+			mode = eval.FeatureHadamard
+		case "both":
+			mode = eval.FeatureConcatHadamard
+		case "concat":
+		default:
+			fail(fmt.Errorf("unknown feature mode %q", *features))
+		}
+		res, err := eval.LinkPred(full, train, test, emb.U, emb.V,
+			eval.LinkPredOptions{Seed: *seed, Features: mode})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("AUC-ROC=%.4f AUC-PR=%.4f\n", res.AUCROC, res.AUCPR)
+	default:
+		fail(fmt.Errorf("unknown task %q", *task))
+	}
+}
+
+// loadTestEdges parses the held-out edge list reusing the training
+// graph's label tables so indices line up.
+func loadTestEdges(path string, train *gebe.Graph) ([]bigraph.Edge, error) {
+	g, err := gebe.LoadGraph(path)
+	if err != nil {
+		return nil, err
+	}
+	if train.ULabels == nil || g.ULabels == nil {
+		// Pure-index graphs: indices are already aligned.
+		return g.Edges, nil
+	}
+	uIdx := make(map[string]int, train.NU)
+	for i, l := range train.ULabels {
+		uIdx[l] = i
+	}
+	vIdx := make(map[string]int, train.NV)
+	for i, l := range train.VLabels {
+		vIdx[l] = i
+	}
+	var out []bigraph.Edge
+	for _, e := range g.Edges {
+		u, okU := uIdx[g.ULabels[e.U]]
+		v, okV := vIdx[g.VLabels[e.V]]
+		if !okU || !okV {
+			continue // node unseen in training — no embedding to rank with
+		}
+		out = append(out, bigraph.Edge{U: u, V: v, W: e.W})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no test edge maps onto the training node universe")
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "gebe-eval:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,136 @@
+package gebe
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"gebe/internal/core"
+	"gebe/internal/dense"
+)
+
+// WriteEmbedding serializes an embedding as TSV: a header line
+// "#gebe <method> <|U|> <|V|> <k>", then one line per node —
+// "u <idx> <k floats>" for the U side followed by "v <idx> <k floats>".
+func WriteEmbedding(w io.Writer, e *Embedding) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "#gebe %s %d %d %d\n", e.Method, e.U.Rows, e.V.Rows, e.K()); err != nil {
+		return fmt.Errorf("gebe: writing embedding: %w", err)
+	}
+	write := func(side string, m *dense.Matrix) error {
+		for i := 0; i < m.Rows; i++ {
+			if _, err := fmt.Fprintf(bw, "%s\t%d", side, i); err != nil {
+				return err
+			}
+			for _, x := range m.Row(i) {
+				if _, err := fmt.Fprintf(bw, "\t%.10g", x); err != nil {
+					return err
+				}
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := write("u", e.U); err != nil {
+		return fmt.Errorf("gebe: writing embedding: %w", err)
+	}
+	if err := write("v", e.V); err != nil {
+		return fmt.Errorf("gebe: writing embedding: %w", err)
+	}
+	return bw.Flush()
+}
+
+// SaveEmbedding writes an embedding to a file.
+func SaveEmbedding(path string, e *Embedding) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("gebe: %w", err)
+	}
+	if err := WriteEmbedding(f, e); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadEmbedding parses the format written by WriteEmbedding.
+func ReadEmbedding(r io.Reader) (*Embedding, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("gebe: empty embedding stream")
+	}
+	header := strings.Fields(sc.Text())
+	if len(header) != 5 || header[0] != "#gebe" {
+		return nil, fmt.Errorf("gebe: bad embedding header %q", sc.Text())
+	}
+	nu, err1 := strconv.Atoi(header[2])
+	nv, err2 := strconv.Atoi(header[3])
+	k, err3 := strconv.Atoi(header[4])
+	if err1 != nil || err2 != nil || err3 != nil || nu < 0 || nv < 0 || k <= 0 {
+		return nil, fmt.Errorf("gebe: bad embedding dimensions in header %q", sc.Text())
+	}
+	e := &core.Embedding{
+		U:      dense.New(nu, k),
+		V:      dense.New(nv, k),
+		Method: header[1],
+	}
+	line := 1
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != k+2 {
+			return nil, fmt.Errorf("gebe: line %d: want %d fields, got %d", line, k+2, len(fields))
+		}
+		idx, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("gebe: line %d: bad index %q", line, fields[1])
+		}
+		var m *dense.Matrix
+		switch fields[0] {
+		case "u":
+			m = e.U
+		case "v":
+			m = e.V
+		default:
+			return nil, fmt.Errorf("gebe: line %d: bad side %q", line, fields[0])
+		}
+		if idx < 0 || idx >= m.Rows {
+			return nil, fmt.Errorf("gebe: line %d: index %d outside %d rows", line, idx, m.Rows)
+		}
+		row := m.Row(idx)
+		for j := 0; j < k; j++ {
+			x, err := strconv.ParseFloat(fields[j+2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("gebe: line %d: bad value %q", line, fields[j+2])
+			}
+			row[j] = x
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("gebe: reading embedding: %w", err)
+	}
+	return e, nil
+}
+
+// LoadEmbedding reads an embedding from a file.
+func LoadEmbedding(path string) (*Embedding, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("gebe: %w", err)
+	}
+	defer f.Close()
+	e, err := ReadEmbedding(f)
+	if err != nil {
+		return nil, fmt.Errorf("gebe: %s: %w", path, err)
+	}
+	return e, nil
+}

@@ -1,0 +1,50 @@
+package gebe_test
+
+import (
+	"fmt"
+
+	"gebe"
+)
+
+// ExampleEmbed builds a small weighted bipartite graph and embeds it
+// with GEBE^p, then scores a user-item pair.
+func ExampleEmbed() {
+	edges := []gebe.Edge{
+		{U: 0, V: 0, W: 5}, {U: 0, V: 1, W: 3},
+		{U: 1, V: 0, W: 4}, {U: 1, V: 1, W: 4}, {U: 1, V: 2, W: 1},
+		{U: 2, V: 2, W: 5},
+	}
+	g, err := gebe.NewGraph(3, 3, edges)
+	if err != nil {
+		panic(err)
+	}
+	emb, err := gebe.Embed(g, gebe.Options{K: 2, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(emb.Method, emb.K())
+	// u0 and u1 share movies; u2 does not. The shared-taste association
+	// must outrank the disjoint one.
+	fmt.Println(emb.Score(0, 0) > emb.Score(0, 2))
+	// Output:
+	// gebep 2
+	// true
+}
+
+// ExampleGEBE selects the Geometric (PPR-style) instantiation of
+// Algorithm 1 explicitly.
+func ExampleGEBE() {
+	g, err := gebe.NewGraph(2, 2, []gebe.Edge{
+		{U: 0, V: 0, W: 1}, {U: 1, V: 1, W: 1}, {U: 0, V: 1, W: 1},
+	})
+	if err != nil {
+		panic(err)
+	}
+	emb, err := gebe.GEBE(g, gebe.Options{K: 2, PMF: gebe.Geometric(0.5), Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(emb.Method)
+	// Output:
+	// gebe-geometric
+}

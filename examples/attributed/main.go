@@ -1,0 +1,94 @@
+// Attributed: the paper's stated future-work extension (§8) — augment
+// bipartite network embeddings with node attributes. On a sparse graph
+// whose structure barely identifies the latent communities, attribute
+// fusion visibly improves user-user similarity; the example also shows
+// the exact MHS/MHP point-query API.
+//
+// Run with: go run ./examples/attributed
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"gebe/internal/bigraph"
+	"gebe/internal/core"
+	"gebe/internal/dense"
+	"gebe/internal/pmf"
+)
+
+func main() {
+	// A sparse two-community graph: each of 30 users has just two edges.
+	const nu, nv = 30, 10
+	rng := rand.New(rand.NewPCG(7, 11))
+	var edges []bigraph.Edge
+	for u := 0; u < nu; u++ {
+		block := u / (nu / 2)
+		for d := 0; d < 2; d++ {
+			edges = append(edges, bigraph.Edge{U: u, V: block*(nv/2) + rng.IntN(nv/2), W: 1})
+		}
+	}
+	g, err := bigraph.New(nu, nv, edges)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sparse graph: %v\n", g.Stats())
+
+	// Attributes carry the community signal the structure underdetermines.
+	uAttrs := dense.New(nu, 4)
+	for u := 0; u < nu; u++ {
+		uAttrs.Set(u, u/(nu/2), 3)
+		uAttrs.Set(u, 2, rng.NormFloat64())
+		uAttrs.Set(u, 3, rng.NormFloat64())
+	}
+
+	plain, err := core.GEBEP(g, core.Options{K: 8, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	aug, err := core.AttributedEmbed(g, core.Attributes{UAttrs: uAttrs}, core.AttributedOptions{
+		Options: core.Options{K: 8, Seed: 3}, AttrDim: 3, AttrWeight: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncommunity separation (within-block cos − across-block cos):\n")
+	fmt.Printf("  structure only : %.3f\n", separation(plain.U, nu/2))
+	fmt.Printf("  + attributes   : %.3f\n", separation(aug.U, nu/2))
+
+	// Exact multi-hop measures for a couple of pairs (§2.2–2.3).
+	om := pmf.NewPoisson(1)
+	sSame, _ := core.MHSQuery(g, om, 20, 0, 1)     // same block
+	sCross, _ := core.MHSQuery(g, om, 20, 0, nu-1) // other block
+	p, _ := core.MHPQuery(g, om, 20, 0, 0)
+	fmt.Printf("\nexact multi-hop measures:\n")
+	fmt.Printf("  MHS(u0,u1)  = %.4f (same community)\n", sSame)
+	fmt.Printf("  MHS(u0,u%d) = %.4f (other community)\n", nu-1, sCross)
+	fmt.Printf("  MHP(u0,v0)  = %.4g (raw multi-hop path mass; grows with the graph's spectral radius — the embedding solvers scale W by 1/σ₁ first)\n", p)
+}
+
+func separation(u *dense.Matrix, blockSize int) float64 {
+	cosine := func(a, b []float64) float64 {
+		na, nb := dense.Norm2(a), dense.Norm2(b)
+		if na == 0 || nb == 0 {
+			return 0
+		}
+		return dense.Dot(a, b) / (na * nb)
+	}
+	var within, across float64
+	var nw, na int
+	for i := 0; i < u.Rows; i++ {
+		for j := i + 1; j < u.Rows; j++ {
+			c := cosine(u.Row(i), u.Row(j))
+			if i/blockSize == j/blockSize {
+				within += c
+				nw++
+			} else {
+				across += c
+				na++
+			}
+		}
+	}
+	return within/float64(nw) - across/float64(na)
+}

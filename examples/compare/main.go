@@ -1,0 +1,68 @@
+// Compare: an accuracy/efficiency shoot-out between GEBE^p, the three
+// GEBE instantiations and the strongest scalable competitor (NRP) on a
+// mid-sized synthetic graph — the one-dataset essence of the paper's
+// Figure 2 + Table 4 story.
+//
+// Run with: go run ./examples/compare
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gebe"
+	"gebe/internal/baselines/nrp"
+	"gebe/internal/dense"
+	"gebe/internal/eval"
+	"gebe/internal/gen"
+)
+
+func main() {
+	g, err := gen.LatentFactor(gen.LFConfig{
+		NU: 4000, NV: 1500, NE: 80000, Clusters: 20, Skew: 0.7,
+		CrossRate: 0.2, Weighted: true, MinDegree: 3, Seed: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("synthetic graph: %v\n\n", g.Stats())
+	train, test := g.Split(0.6, 9)
+
+	const k = 32
+	type method struct {
+		name string
+		run  func() (u, v *dense.Matrix, err error)
+	}
+	wrap := func(f func(*gebe.Graph, gebe.Options) (*gebe.Embedding, error), opt gebe.Options) func() (*dense.Matrix, *dense.Matrix, error) {
+		return func() (*dense.Matrix, *dense.Matrix, error) {
+			e, err := f(train, opt)
+			if err != nil {
+				return nil, nil, err
+			}
+			return e.U, e.V, nil
+		}
+	}
+	methods := []method{
+		{"GEBE^p", wrap(gebe.GEBEP, gebe.Options{K: k, Seed: 2})},
+		{"GEBE (Poisson)", wrap(gebe.GEBE, gebe.Options{K: k, PMF: gebe.Poisson(1), Tol: 1e-5, Seed: 2})},
+		{"GEBE (Geometric)", wrap(gebe.GEBE, gebe.Options{K: k, PMF: gebe.Geometric(0.5), Tol: 1e-5, Seed: 2})},
+		{"GEBE (Uniform)", wrap(gebe.GEBE, gebe.Options{K: k, PMF: gebe.Uniform(20), Tol: 1e-5, Seed: 2})},
+		{"NRP", func() (*dense.Matrix, *dense.Matrix, error) {
+			return nrp.Train(train, nrp.Config{Dim: k, Seed: 2})
+		}},
+	}
+
+	fmt.Printf("%-17s %8s %8s %8s %9s\n", "method", "F1@10", "NDCG@10", "MRR@10", "time")
+	for _, m := range methods {
+		start := time.Now()
+		u, v, err := m.run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		res := eval.TopN(train, test, u, v, 10, 4)
+		fmt.Printf("%-17s %8.3f %8.3f %8.3f %8.2fs\n",
+			m.name, res.F1, res.NDCG, res.MRR, elapsed.Seconds())
+	}
+}

@@ -1,0 +1,94 @@
+// Package gebe is a from-scratch Go implementation of "Scalable and
+// Effective Bipartite Network Embedding" (Yang, Shi, Huang, Xiao;
+// SIGMOD 2022): the GEBE framework for bipartite network embedding and
+// its Poisson-specialized solver GEBE^p, plus the multi-hop homogeneous
+// similarity (MHS) and multi-hop heterogeneous proximity (MHP) measures
+// they preserve.
+//
+// Quick start:
+//
+//	g, _ := gebe.LoadGraph("ratings.tsv")
+//	emb, _ := gebe.Embed(g, gebe.Options{K: 128})
+//	score := emb.Score(user, item) // strength of association
+//
+// The package re-exports the stable core types; the heavy machinery
+// (sparse/dense linear algebra, randomized SVD, baselines, benchmark
+// harness) lives under internal/.
+package gebe
+
+import (
+	"io"
+
+	"gebe/internal/bigraph"
+	"gebe/internal/core"
+	"gebe/internal/pmf"
+)
+
+// Graph is a weighted undirected bipartite graph G = (U, V, E).
+type Graph = bigraph.Graph
+
+// Edge is one weighted inter-set edge.
+type Edge = bigraph.Edge
+
+// Options configures the solvers; see the field docs for the paper
+// defaults (Poisson λ=1, τ=20, t=200, ε=0.1, k required).
+type Options = core.Options
+
+// Embedding holds the k-dimensional node vectors for both sides plus
+// solver diagnostics.
+type Embedding = core.Embedding
+
+// PMF is a path-length weighting (Uniform, Geometric or Poisson; §2.4).
+type PMF = pmf.PMF
+
+// NewGraph validates and constructs a bipartite graph.
+func NewGraph(nu, nv int, edges []Edge) (*Graph, error) {
+	return bigraph.New(nu, nv, edges)
+}
+
+// LoadGraph reads a whitespace-separated edge list ("u v" or "u v w")
+// from a file; node identifiers may be arbitrary strings.
+func LoadGraph(path string) (*Graph, error) {
+	return bigraph.LoadEdgeList(path)
+}
+
+// ReadGraph is LoadGraph over an io.Reader.
+func ReadGraph(r io.Reader) (*Graph, error) {
+	return bigraph.ReadEdgeList(r)
+}
+
+// Embed computes embeddings with GEBE^p (Algorithm 2) — the paper's
+// recommended configuration and the default entry point.
+func Embed(g *Graph, opt Options) (*Embedding, error) {
+	return core.GEBEP(g, opt)
+}
+
+// GEBE computes embeddings with the generic Algorithm 1 under the PMF
+// instantiation selected by opt.PMF (default Poisson).
+func GEBE(g *Graph, opt Options) (*Embedding, error) {
+	return core.GEBE(g, opt)
+}
+
+// GEBEP computes embeddings with the Poisson-specialized Algorithm 2.
+func GEBEP(g *Graph, opt Options) (*Embedding, error) {
+	return core.GEBEP(g, opt)
+}
+
+// MHPBNE is the MHP-only ablation baseline of §6.1.
+func MHPBNE(g *Graph, opt Options) (*Embedding, error) {
+	return core.MHPBNE(g, opt)
+}
+
+// MHSBNE is the MHS-only ablation baseline of §6.1.
+func MHSBNE(g *Graph, opt Options) (*Embedding, error) {
+	return core.MHSBNE(g, opt)
+}
+
+// Uniform returns the Uniform PMF of Eq. (6) with maximum hop count tau.
+func Uniform(tau int) PMF { return pmf.NewUniform(tau) }
+
+// Geometric returns the Geometric PMF of Eq. (7) with decay alpha∈(0,1).
+func Geometric(alpha float64) PMF { return pmf.NewGeometric(alpha) }
+
+// Poisson returns the Poisson PMF of Eq. (8) with rate lambda>0.
+func Poisson(lambda float64) PMF { return pmf.NewPoisson(lambda) }

@@ -1,0 +1,3 @@
+module gebe
+
+go 1.22

@@ -1,0 +1,168 @@
+package gebe
+
+// End-to-end integration tests across the whole stack: generator →
+// k-core → split → embedding → both downstream tasks, plus the
+// persistence round trip — the path cmd/gebe + cmd/gebe-eval automate.
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"gebe/internal/budget"
+	"gebe/internal/eval"
+	"gebe/internal/gen"
+)
+
+func TestEndToEndRecommendation(t *testing.T) {
+	g, err := gen.LatentFactor(gen.LFConfig{
+		NU: 300, NV: 120, NE: 4500, Clusters: 6, Skew: 0.6,
+		CrossRate: 0.2, Weighted: true, MinDegree: 3, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	core3, _, _ := g.KCore(3)
+	train, test := core3.Split(0.6, 21)
+	emb, err := Embed(train, Options{K: 16, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := eval.TopN(train, test, emb.U, emb.V, 10, 2)
+	if res.Users == 0 {
+		t.Fatal("no users evaluated")
+	}
+	// The planted structure must be learnable: far better than the
+	// ~|truth|/|V| ≈ 0.08 random baseline.
+	if res.F1 < 0.15 {
+		t.Errorf("end-to-end F1@10 = %.3f too low for planted structure", res.F1)
+	}
+	// And a random embedding must do much worse.
+	randEmb, err := Embed(train, Options{K: 16, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffleRows(randEmb)
+	randRes := eval.TopN(train, test, randEmb.U, randEmb.V, 10, 2)
+	if randRes.F1 >= res.F1 {
+		t.Errorf("shuffled embedding F1 %.3f >= trained %.3f", randRes.F1, res.F1)
+	}
+}
+
+// shuffleRows destroys the embedding's structure while keeping its
+// value distribution, by reversing the row order of U.
+func shuffleRows(e *Embedding) {
+	n := e.U.Rows
+	for i := 0; i < n/2; i++ {
+		a := e.U.Row(i)
+		b := e.U.Row(n - 1 - i)
+		for j := range a {
+			a[j], b[j] = b[j], a[j]
+		}
+	}
+}
+
+func TestEndToEndLinkPrediction(t *testing.T) {
+	g, err := gen.LatentFactor(gen.LFConfig{
+		NU: 300, NV: 150, NE: 4000, Clusters: 6, Skew: 0.6,
+		CrossRate: 0.2, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, removed := g.Split(0.6, 29)
+	emb, err := Embed(train, Options{K: 16, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eval.LinkPred(g, train, removed, emb.U, emb.V, eval.LinkPredOptions{Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AUCROC < 0.6 {
+		t.Errorf("end-to-end AUC-ROC %.3f barely above chance", res.AUCROC)
+	}
+}
+
+func TestDeadlinePropagation(t *testing.T) {
+	g, err := gen.ER(500, 500, 5000, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = GEBE(g, Options{K: 8, Deadline: time.Now().Add(-time.Second)})
+	if err == nil || !errorIs(err, budget.ErrExceeded) {
+		t.Errorf("GEBE with expired deadline returned %v", err)
+	}
+	for _, f := range []func(*Graph, Options) (*Embedding, error){MHPBNE, MHSBNE} {
+		if _, err := f(g, Options{K: 8, Deadline: time.Now().Add(-time.Second)}); err == nil {
+			t.Error("ablation ignored expired deadline")
+		}
+	}
+}
+
+func errorIs(err, target error) bool { return errors.Is(err, target) }
+
+func TestPersistenceAcrossPipeline(t *testing.T) {
+	g, err := gen.ER(50, 40, 400, true, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := g.SaveEdgeList(dir + "/g.tsv"); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadGraph(dir + "/g.tsv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same graph after round trip (indices preserved because labels are
+	// written in index order for generated graphs).
+	if g2.NU != g.NU || g2.NV != g.NV || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("graph round trip changed shape: %v vs %v", g2.Stats(), g.Stats())
+	}
+	emb, err := Embed(g2, Options{K: 8, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveEmbedding(dir+"/e.tsv", emb); err != nil {
+		t.Fatal(err)
+	}
+	emb2, err := LoadEmbedding(dir + "/e.tsv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 5; u++ {
+		for v := 0; v < 5; v++ {
+			if math.Abs(emb.Score(u, v)-emb2.Score(u, v)) > 1e-8 {
+				t.Fatalf("score (%d,%d) changed across persistence", u, v)
+			}
+		}
+	}
+}
+
+func TestKCoreThenEmbedHandlesRemappedIndices(t *testing.T) {
+	// k-core re-densifies indices; embeddings must line up with the core
+	// graph's universe, not the original's.
+	g, err := gen.LatentFactor(gen.LFConfig{
+		NU: 200, NV: 80, NE: 1500, Clusters: 4, Skew: 0.8,
+		CrossRate: 0.2, Weighted: true, Seed: 41,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, uMap, vMap := g.KCore(4)
+	if cg.NU == 0 {
+		t.Skip("4-core empty for this seed")
+	}
+	if len(uMap) != cg.NU || len(vMap) != cg.NV {
+		t.Fatal("k-core maps inconsistent")
+	}
+	emb, err := Embed(cg, Options{K: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emb.U.Rows != cg.NU || emb.V.Rows != cg.NV {
+		t.Fatal("embedding shape does not match core graph")
+	}
+}

@@ -1,0 +1,154 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"gebe/internal/bigraph"
+	"gebe/internal/dense"
+	"gebe/internal/gen"
+)
+
+// blockGraph builds a small two-community bipartite graph with a few
+// cross edges — enough structure for every baseline to learn something.
+func blockGraph(t testing.TB) *bigraph.Graph {
+	t.Helper()
+	g, err := gen.LatentFactor(gen.LFConfig{
+		NU: 60, NV: 40, NE: 600, Clusters: 3, Skew: 0.5,
+		CrossRate: 0.15, Weighted: true, MinDegree: 2, Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func checkEmbedding(t *testing.T, name string, u, v *dense.Matrix, nu, nv, k int) {
+	t.Helper()
+	if u == nil || v == nil {
+		t.Fatalf("%s: nil embeddings", name)
+	}
+	if u.Rows != nu || u.Cols != k || v.Rows != nv || v.Cols != k {
+		t.Fatalf("%s: shapes U=%dx%d V=%dx%d want %dx%d %dx%d",
+			name, u.Rows, u.Cols, v.Rows, v.Cols, nu, k, nv, k)
+	}
+	for _, x := range u.Data {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Fatalf("%s: non-finite U entry", name)
+		}
+	}
+	for _, x := range v.Data {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Fatalf("%s: non-finite V entry", name)
+		}
+	}
+	if u.FrobeniusNorm() == 0 || v.FrobeniusNorm() == 0 {
+		t.Fatalf("%s: all-zero embedding", name)
+	}
+}
+
+func TestAllBaselinesProduceValidEmbeddings(t *testing.T) {
+	g := blockGraph(t)
+	const k = 8
+	for _, m := range All() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			u, v, err := m.Train(g, k, 7, 1, time.Time{})
+			if err != nil {
+				t.Fatalf("%s: %v", m.Name, err)
+			}
+			checkEmbedding(t, m.Name, u, v, g.NU, g.NV, k)
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("NRP"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nrp"); err == nil {
+		t.Error("lookup should be case-sensitive")
+	}
+	if _, err := ByName("GEBE"); err == nil {
+		t.Error("GEBE is not a baseline")
+	}
+}
+
+func TestBaselinesRejectEmptyGraph(t *testing.T) {
+	empty, err := bigraph.New(5, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range All() {
+		if _, _, err := m.Train(empty, 4, 1, 1, time.Time{}); err == nil {
+			t.Errorf("%s accepted an empty graph", m.Name)
+		}
+	}
+}
+
+func TestBaselinesRejectBadDim(t *testing.T) {
+	g := blockGraph(t)
+	for _, m := range All() {
+		if _, _, err := m.Train(g, 0, 1, 1, time.Time{}); err == nil {
+			t.Errorf("%s accepted Dim=0", m.Name)
+		}
+	}
+}
+
+// TestBaselineRecommendationSignal: every baseline should rank a user's
+// actual neighbors above random items more often than chance on the
+// structured block graph. This is a weak but universal signal check.
+func TestBaselineRecommendationSignal(t *testing.T) {
+	g := blockGraph(t)
+	const k = 8
+	for _, m := range All() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			u, v, err := m.Train(g, k, 11, 1, time.Time{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wins, total := 0, 0
+			liked := g.HasEdgeSet()
+			for i, e := range g.Edges {
+				if i%7 != 0 {
+					continue
+				}
+				pos := dense.Dot(u.Row(e.U), v.Row(e.V))
+				neg := (e.V + 13) % g.NV
+				if liked[bigraph.PackEdge(e.U, neg)] {
+					continue
+				}
+				negScore := dense.Dot(u.Row(e.U), v.Row(neg))
+				if pos > negScore {
+					wins++
+				}
+				total++
+			}
+			if total == 0 {
+				t.Skip("no comparable pairs")
+			}
+			if rate := float64(wins) / float64(total); rate < 0.55 {
+				t.Errorf("%s: positive-vs-negative win rate %.2f barely above chance", m.Name, rate)
+			}
+		})
+	}
+}
+
+// TestDeadlineCooperative: an already-expired deadline must make every
+// baseline return budget.ErrExceeded promptly instead of training.
+func TestDeadlineCooperative(t *testing.T) {
+	g := blockGraph(t)
+	past := time.Now().Add(-time.Second)
+	for _, m := range All() {
+		start := time.Now()
+		_, _, err := m.Train(g, 8, 1, 1, past)
+		if err == nil {
+			t.Errorf("%s ignored an expired deadline", m.Name)
+		}
+		if time.Since(start) > 2*time.Second {
+			t.Errorf("%s took %v to notice the expired deadline", m.Name, time.Since(start))
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package bigi
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"gebe/internal/bigraph"
+)
+
+func smallGraph(t testing.TB) *bigraph.Graph {
+	var edges []bigraph.Edge
+	for u := 0; u < 12; u++ {
+		for d := 0; d < 3; d++ {
+			edges = append(edges, bigraph.Edge{U: u, V: (u*2 + d) % 7, W: 1})
+		}
+	}
+	g, err := bigraph.New(12, 7, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestTrainShapesFinite(t *testing.T) {
+	g := smallGraph(t)
+	u, v, err := Train(g, Config{Dim: 6, Epochs: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Rows != 12 || v.Rows != 7 || u.Cols != 6 {
+		t.Fatalf("shapes %dx%d %dx%d", u.Rows, u.Cols, v.Rows, v.Cols)
+	}
+	for _, x := range append(append([]float64{}, u.Data...), v.Data...) {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Fatal("non-finite entry")
+		}
+	}
+}
+
+func TestValidationAndDeadline(t *testing.T) {
+	g := smallGraph(t)
+	if _, _, err := Train(g, Config{Dim: 0}); err == nil {
+		t.Error("Dim=0 accepted")
+	}
+	empty, _ := bigraph.New(2, 2, nil)
+	if _, _, err := Train(empty, Config{Dim: 2}); err == nil {
+		t.Error("empty graph accepted")
+	}
+	if _, _, err := Train(g, Config{Dim: 4, Deadline: time.Now().Add(-time.Second)}); err == nil {
+		t.Error("expired deadline ignored")
+	}
+}
+
+func TestEncoderUsesPropagation(t *testing.T) {
+	// Two users with identical neighborhoods get near-identical encodings
+	// at epoch 0 scale (the encoder is propagation + base).
+	var edges []bigraph.Edge
+	for _, u := range []int{0, 1} {
+		for v := 0; v < 3; v++ {
+			edges = append(edges, bigraph.Edge{U: u, V: v, W: 1})
+		}
+	}
+	edges = append(edges, bigraph.Edge{U: 2, V: 3, W: 1})
+	g, err := bigraph.New(3, 4, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, _, err := Train(g, Config{Dim: 6, Epochs: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Twins share the propagated component; their distance should be far
+	// smaller than to the unrelated user.
+	dTwin := rowDist(u.Row(0), u.Row(1))
+	dOther := rowDist(u.Row(0), u.Row(2))
+	if dTwin >= dOther {
+		t.Errorf("twin distance %.3f >= unrelated distance %.3f", dTwin, dOther)
+	}
+}
+
+func rowDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,69 @@
+package bine
+
+import (
+	"testing"
+	"time"
+
+	"gebe/internal/bigraph"
+	"gebe/internal/dense"
+)
+
+func smallGraph(t testing.TB) *bigraph.Graph {
+	var edges []bigraph.Edge
+	for u := 0; u < 12; u++ {
+		base := (u / 6) * 4
+		for d := 0; d < 3; d++ {
+			edges = append(edges, bigraph.Edge{U: u, V: base + d, W: float64(1 + d)})
+		}
+	}
+	g, err := bigraph.New(12, 8, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestTrainShapesAndSignal(t *testing.T) {
+	g := smallGraph(t)
+	u, v, err := Train(g, Config{Dim: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Rows != 12 || v.Rows != 8 {
+		t.Fatalf("shapes %dx%d %dx%d", u.Rows, u.Cols, v.Rows, v.Cols)
+	}
+	// The explicit-relation term aligns the two spaces: an observed edge
+	// should outscore a cross-block non-edge.
+	pos := dense.Dot(u.Row(0), v.Row(0)) // block-0 edge
+	neg := dense.Dot(u.Row(0), v.Row(5)) // block-1 item, no path
+	if pos <= neg {
+		t.Errorf("edge score %.3f <= cross-block score %.3f", pos, neg)
+	}
+}
+
+func TestProjectedWalksStayOnSide(t *testing.T) {
+	g := smallGraph(t)
+	// Walks over the U projection must only emit tokens < |U|.
+	u, v, err := Train(g, Config{Dim: 4, WalksPerNode: 2, MaxWalkLength: 6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = u
+	_ = v
+	// The invariant is enforced structurally (tokens are re-based); this
+	// test exists to exercise the path with non-default walk parameters.
+}
+
+func TestValidationAndDeadline(t *testing.T) {
+	g := smallGraph(t)
+	if _, _, err := Train(g, Config{Dim: 0}); err == nil {
+		t.Error("Dim=0 accepted")
+	}
+	empty, _ := bigraph.New(2, 2, nil)
+	if _, _, err := Train(empty, Config{Dim: 2}); err == nil {
+		t.Error("empty graph accepted")
+	}
+	if _, _, err := Train(g, Config{Dim: 4, Deadline: time.Now().Add(-time.Second)}); err == nil {
+		t.Error("expired deadline ignored")
+	}
+}

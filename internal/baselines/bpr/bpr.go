@@ -1,0 +1,112 @@
+// Package bpr re-implements Bayesian Personalized Ranking (Rendle et
+// al., UAI 2009): matrix factorization trained with the pairwise ranking
+// objective ln σ(x̂_ui − x̂_uj) over sampled (user, positive, negative)
+// triples.
+package bpr
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"time"
+
+	"gebe/internal/budget"
+
+	"gebe/internal/bigraph"
+	"gebe/internal/dense"
+)
+
+// Config holds BPR hyperparameters.
+type Config struct {
+	Dim int
+	// Epochs, each drawing |E| triples (default 60).
+	Epochs int
+	// LearnRate for SGD (default 0.05) and L2 regularization (default 0.01).
+	LearnRate, Reg float64
+	Seed           uint64
+	// Deadline optionally bounds training (cooperative; zero = none).
+	Deadline time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Epochs == 0 {
+		c.Epochs = 60
+	}
+	if c.LearnRate == 0 {
+		c.LearnRate = 0.05
+	}
+	if c.Reg == 0 {
+		c.Reg = 0.01
+	}
+	return c
+}
+
+// Train fits BPR-MF and returns the user and item factor matrices.
+func Train(g *bigraph.Graph, cfg Config) (u, v *dense.Matrix, err error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dim <= 0 {
+		return nil, nil, fmt.Errorf("bpr: Dim must be positive")
+	}
+	if g.NumEdges() == 0 {
+		return nil, nil, fmt.Errorf("bpr: empty graph")
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x3bd39e10cb0ef593))
+	u = dense.New(g.NU, cfg.Dim)
+	v = dense.New(g.NV, cfg.Dim)
+	for i := range u.Data {
+		u.Data[i] = rng.NormFloat64() * 0.1
+	}
+	for i := range v.Data {
+		v.Data[i] = rng.NormFloat64() * 0.1
+	}
+	liked := g.HasEdgeSet()
+	steps := cfg.Epochs * len(g.Edges)
+	for s := 0; s < steps; s++ {
+		if s%8192 == 0 {
+			if err := budget.Check(cfg.Deadline); err != nil {
+				return nil, nil, fmt.Errorf("bpr: %w", err)
+			}
+		}
+		e := g.Edges[rng.IntN(len(g.Edges))]
+		uu, pos := e.U, e.V
+		// Sample a negative item for this user.
+		var neg int
+		for tries := 0; ; tries++ {
+			neg = rng.IntN(g.NV)
+			if !liked[bigraph.PackEdge(uu, neg)] {
+				break
+			}
+			if tries > 50 {
+				break // pathological dense row; accept a liked item rather than spin
+			}
+		}
+		urow := u.Row(uu)
+		prow := v.Row(pos)
+		nrow := v.Row(neg)
+		var diff float64
+		for j := 0; j < cfg.Dim; j++ {
+			diff += urow[j] * (prow[j] - nrow[j])
+		}
+		gstep := cfg.LearnRate * sigmoidNeg(diff)
+		for j := 0; j < cfg.Dim; j++ {
+			du := gstep*(prow[j]-nrow[j]) - cfg.LearnRate*cfg.Reg*urow[j]
+			dp := gstep*urow[j] - cfg.LearnRate*cfg.Reg*prow[j]
+			dn := -gstep*urow[j] - cfg.LearnRate*cfg.Reg*nrow[j]
+			urow[j] += du
+			prow[j] += dp
+			nrow[j] += dn
+		}
+	}
+	return u, v, nil
+}
+
+// sigmoidNeg computes σ(−x) stably.
+func sigmoidNeg(x float64) float64 {
+	if x > 30 {
+		return 0
+	}
+	if x < -30 {
+		return 1
+	}
+	return 1 / (1 + math.Exp(x))
+}

@@ -1,0 +1,77 @@
+package bpr
+
+import (
+	"testing"
+	"time"
+
+	"gebe/internal/bigraph"
+	"gebe/internal/dense"
+)
+
+// preferenceGraph: users 0..9 interact only with items 0..4; users 10..19
+// only with items 5..9.
+func preferenceGraph(t testing.TB) *bigraph.Graph {
+	var edges []bigraph.Edge
+	for u := 0; u < 20; u++ {
+		base := (u / 10) * 5
+		for d := 0; d < 4; d++ {
+			edges = append(edges, bigraph.Edge{U: u, V: base + d, W: 1})
+		}
+	}
+	g, err := bigraph.New(20, 10, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestTrainLearnsPreferences(t *testing.T) {
+	g := preferenceGraph(t)
+	u, v, err := Train(g, Config{Dim: 8, Epochs: 80, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// User 0 interacted with items 0-3; the held-out same-block item 4
+	// should outscore every cross-block item for most users.
+	wins, total := 0, 0
+	for uu := 0; uu < 20; uu++ {
+		heldOut := (uu/10)*5 + 4
+		cross := ((uu/10+1)%2)*5 + 2
+		if dense.Dot(u.Row(uu), v.Row(heldOut)) > dense.Dot(u.Row(uu), v.Row(cross)) {
+			wins++
+		}
+		total++
+	}
+	if rate := float64(wins) / float64(total); rate < 0.8 {
+		t.Errorf("held-out same-block item wins only %.0f%% of the time", rate*100)
+	}
+}
+
+func TestTrainValidationAndDeadline(t *testing.T) {
+	g := preferenceGraph(t)
+	if _, _, err := Train(g, Config{Dim: 0}); err == nil {
+		t.Error("Dim=0 accepted")
+	}
+	empty, _ := bigraph.New(2, 2, nil)
+	if _, _, err := Train(empty, Config{Dim: 2}); err == nil {
+		t.Error("empty graph accepted")
+	}
+	if _, _, err := Train(g, Config{Dim: 4, Deadline: time.Now().Add(-time.Second)}); err == nil {
+		t.Error("expired deadline ignored")
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	g := preferenceGraph(t)
+	u1, _, err := Train(g, Config{Dim: 4, Epochs: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, _, err := Train(g, Config{Dim: 4, Epochs: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dense.Equal(u1, u2, 0) {
+		t.Error("BPR not deterministic for equal seeds")
+	}
+}

@@ -1,0 +1,196 @@
+// Package cse re-implements CSE (Chen et al., WWW 2019) — collaborative
+// similarity embedding — in its joint-learning form: a direct user-item
+// proximity model (sigmoid matrix factorization with negative sampling)
+// combined with k-order neighborhood proximity losses over same-type
+// node pairs sampled from short random walks.
+package cse
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"time"
+
+	"gebe/internal/budget"
+
+	"gebe/internal/baselines/walk"
+	"gebe/internal/bigraph"
+	"gebe/internal/dense"
+	"gebe/internal/sampling"
+)
+
+// Config holds CSE hyperparameters.
+type Config struct {
+	Dim int
+	// Order is the random-walk order k for neighborhood proximity
+	// (default 2, i.e. same-type pairs two hops apart).
+	Order int
+	// SamplesPerEdge controls total SGD steps (default 40).
+	SamplesPerEdge int
+	// Lambda balances the neighborhood loss against the direct loss
+	// (default 0.5).
+	Lambda         float64
+	Negatives      int
+	LearnRate, Reg float64
+	Seed           uint64
+	Threads        int // kept for interface symmetry
+	// Deadline optionally bounds training (cooperative; zero = none).
+	Deadline time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Order == 0 {
+		c.Order = 2
+	}
+	if c.SamplesPerEdge == 0 {
+		c.SamplesPerEdge = 40
+	}
+	if c.Lambda == 0 {
+		c.Lambda = 0.5
+	}
+	if c.Negatives == 0 {
+		c.Negatives = 5
+	}
+	if c.LearnRate == 0 {
+		c.LearnRate = 0.05
+	}
+	if c.Reg == 0 {
+		c.Reg = 1e-4
+	}
+	return c
+}
+
+// Train fits CSE and returns user/item embeddings.
+func Train(g *bigraph.Graph, cfg Config) (u, v *dense.Matrix, err error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dim <= 0 {
+		return nil, nil, fmt.Errorf("cse: Dim must be positive")
+	}
+	if g.NumEdges() == 0 {
+		return nil, nil, fmt.Errorf("cse: empty graph")
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x2ffd72dbd01adfb7))
+	u = dense.New(g.NU, cfg.Dim)
+	v = dense.New(g.NV, cfg.Dim)
+	for i := range u.Data {
+		u.Data[i] = rng.NormFloat64() * 0.1
+	}
+	for i := range v.Data {
+		v.Data[i] = rng.NormFloat64() * 0.1
+	}
+	// Context tables for the neighborhood losses.
+	cu := dense.New(g.NU, cfg.Dim)
+	cv := dense.New(g.NV, cfg.Dim)
+
+	wg := walk.NewGraph(g)
+	ew := make([]float64, len(g.Edges))
+	for i, e := range g.Edges {
+		ew[i] = e.W
+	}
+	edgeAlias := sampling.MustAlias(ew)
+	negU := degreeAlias(g, true)
+	negV := degreeAlias(g, false)
+
+	steps := cfg.SamplesPerEdge * len(g.Edges)
+	for s := 0; s < steps; s++ {
+		if s%8192 == 0 {
+			if err := budget.Check(cfg.Deadline); err != nil {
+				return nil, nil, fmt.Errorf("cse: %w", err)
+			}
+		}
+		lr := cfg.LearnRate * (1 - float64(s)/float64(steps))
+		if lr < cfg.LearnRate*1e-3 {
+			lr = cfg.LearnRate * 1e-3
+		}
+		e := g.Edges[edgeAlias.Sample(rng)]
+		// Direct user-item term with negative sampling.
+		sgnsStep(u.Row(e.U), v, e.V, negV, cfg, lr, rng)
+		sgnsStep(v.Row(e.V), u, e.U, negU, cfg, lr, rng)
+		// k-order neighborhood term: walk 2·Order steps from each endpoint
+		// to reach a same-type node, then pull the pair together.
+		if rng.Float64() < cfg.Lambda {
+			if peer := sameTypeWalk(wg, int32(e.U), cfg.Order, rng); peer >= 0 {
+				sgnsStepCtx(u.Row(e.U), cu, int(peer), negU, cfg, lr, rng)
+			}
+			if peer := sameTypeWalk(wg, int32(g.NU+e.V), cfg.Order, rng); peer >= int32(g.NU) {
+				sgnsStepCtx(v.Row(e.V), cv, int(peer)-g.NU, negV, cfg, lr, rng)
+			}
+		}
+	}
+	return u, v, nil
+}
+
+// sameTypeWalk walks 2*order steps (always an even count, so it lands on
+// the start's side) and returns the endpoint, or -1 for dead ends.
+func sameTypeWalk(wg *walk.Graph, start int32, order int, rng *rand.Rand) int32 {
+	cur := start
+	for h := 0; h < 2*order; h++ {
+		next := wg.Step(cur, rng)
+		if next < 0 {
+			return -1
+		}
+		cur = next
+	}
+	return cur
+}
+
+// sgnsStep trains vec against target row `pos` of table with negatives.
+func sgnsStep(vec []float64, table *dense.Matrix, pos int, neg *sampling.Alias, cfg Config, lr float64, rng *rand.Rand) {
+	dim := len(vec)
+	grad := make([]float64, dim)
+	for s := 0; s <= cfg.Negatives; s++ {
+		target := pos
+		label := 1.0
+		if s > 0 {
+			target = neg.Sample(rng)
+			if target == pos {
+				continue
+			}
+			label = 0
+		}
+		trow := table.Row(target)
+		f := sigmoid(dense.Dot(vec, trow))
+		gstep := (label - f) * lr
+		for j := 0; j < dim; j++ {
+			grad[j] += gstep * trow[j]
+			trow[j] += gstep*vec[j] - lr*cfg.Reg*trow[j]
+		}
+	}
+	for j := 0; j < dim; j++ {
+		vec[j] += grad[j] - lr*cfg.Reg*vec[j]
+	}
+}
+
+// sgnsStepCtx is sgnsStep against a context table (neighborhood loss).
+func sgnsStepCtx(vec []float64, ctx *dense.Matrix, pos int, neg *sampling.Alias, cfg Config, lr float64, rng *rand.Rand) {
+	sgnsStep(vec, ctx, pos, neg, cfg, lr, rng)
+}
+
+func degreeAlias(g *bigraph.Graph, uSide bool) *sampling.Alias {
+	var d []float64
+	if uSide {
+		d = make([]float64, g.NU)
+		for _, e := range g.Edges {
+			d[e.U]++
+		}
+	} else {
+		d = make([]float64, g.NV)
+		for _, e := range g.Edges {
+			d[e.V]++
+		}
+	}
+	for i := range d {
+		d[i] = math.Pow(d[i]+1e-9, 0.75)
+	}
+	return sampling.MustAlias(d)
+}
+
+func sigmoid(z float64) float64 {
+	if z > 8 {
+		return 1
+	}
+	if z < -8 {
+		return 0
+	}
+	return 1 / (1 + math.Exp(-z))
+}

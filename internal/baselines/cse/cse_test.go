@@ -1,0 +1,74 @@
+package cse
+
+import (
+	"testing"
+	"time"
+
+	"gebe/internal/bigraph"
+	"gebe/internal/dense"
+)
+
+func smallGraph(t testing.TB) *bigraph.Graph {
+	var edges []bigraph.Edge
+	for u := 0; u < 14; u++ {
+		for d := 0; d < 3; d++ {
+			edges = append(edges, bigraph.Edge{U: u, V: (u + d) % 8, W: float64(1 + d%2)})
+		}
+	}
+	g, err := bigraph.New(14, 8, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestTrainShapes(t *testing.T) {
+	g := smallGraph(t)
+	u, v, err := Train(g, Config{Dim: 6, SamplesPerEdge: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Rows != 14 || v.Rows != 8 || u.Cols != 6 || v.Cols != 6 {
+		t.Fatalf("shapes %dx%d %dx%d", u.Rows, u.Cols, v.Rows, v.Cols)
+	}
+	if u.FrobeniusNorm() == 0 || v.FrobeniusNorm() == 0 {
+		t.Error("zero embeddings")
+	}
+}
+
+func TestObservedEdgesOutscoreRandomPairs(t *testing.T) {
+	g := smallGraph(t)
+	u, v, err := Train(g, Config{Dim: 8, SamplesPerEdge: 60, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	liked := g.HasEdgeSet()
+	wins, total := 0, 0
+	for _, e := range g.Edges {
+		neg := (e.V + 4) % g.NV
+		if liked[bigraph.PackEdge(e.U, neg)] {
+			continue
+		}
+		if dense.Dot(u.Row(e.U), v.Row(e.V)) > dense.Dot(u.Row(e.U), v.Row(neg)) {
+			wins++
+		}
+		total++
+	}
+	if total > 0 && float64(wins)/float64(total) < 0.7 {
+		t.Errorf("edge-vs-nonedge win rate %.2f too low", float64(wins)/float64(total))
+	}
+}
+
+func TestValidationAndDeadline(t *testing.T) {
+	g := smallGraph(t)
+	if _, _, err := Train(g, Config{Dim: 0}); err == nil {
+		t.Error("Dim=0 accepted")
+	}
+	empty, _ := bigraph.New(2, 2, nil)
+	if _, _, err := Train(empty, Config{Dim: 2}); err == nil {
+		t.Error("empty graph accepted")
+	}
+	if _, _, err := Train(g, Config{Dim: 4, Deadline: time.Now().Add(-time.Second)}); err == nil {
+		t.Error("expired deadline ignored")
+	}
+}

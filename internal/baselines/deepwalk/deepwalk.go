@@ -1,0 +1,62 @@
+// Package deepwalk re-implements DeepWalk (Perozzi et al., KDD 2014)
+// applied to a bipartite graph as a typeless homogeneous graph — the
+// paper's "homogeneous network embedding" competitor family.
+package deepwalk
+
+import (
+	"time"
+
+	"gebe/internal/baselines/sgns"
+	"gebe/internal/baselines/walk"
+	"gebe/internal/bigraph"
+	"gebe/internal/dense"
+)
+
+// Config holds DeepWalk hyperparameters; zero values select the usual
+// defaults (10 walks of length 40, window 5, 5 negatives).
+type Config struct {
+	Dim                      int
+	WalksPerNode, WalkLength int
+	Window, Negatives        int
+	Epochs                   int
+	Seed                     uint64
+	Threads                  int
+	// Deadline optionally bounds training (cooperative; zero = none).
+	Deadline time.Time
+}
+
+// Train runs DeepWalk and splits the homogeneous embedding table back
+// into the U-side and V-side matrices.
+func Train(g *bigraph.Graph, cfg Config) (u, v *dense.Matrix, err error) {
+	wg := walk.NewGraph(g)
+	walks, err := walk.Generate(wg, walk.Config{
+		WalksPerNode: cfg.WalksPerNode, WalkLength: cfg.WalkLength,
+		P: 1, Q: 1, Seed: cfg.Seed, Deadline: cfg.Deadline,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	emb, err := sgns.Train(walks, wg.N, sgns.Config{
+		Dim: cfg.Dim, Window: cfg.Window, Negatives: cfg.Negatives,
+		Epochs: cfg.Epochs, Threads: cfg.Threads, Seed: cfg.Seed,
+		Deadline: cfg.Deadline,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return SplitEmbedding(emb, g.NU)
+}
+
+// SplitEmbedding slices a (|U|+|V|)×k homogeneous embedding table into
+// its U and V halves.
+func SplitEmbedding(emb *dense.Matrix, nu int) (u, v *dense.Matrix, err error) {
+	u = dense.New(nu, emb.Cols)
+	v = dense.New(emb.Rows-nu, emb.Cols)
+	for i := 0; i < nu; i++ {
+		copy(u.Row(i), emb.Row(i))
+	}
+	for i := nu; i < emb.Rows; i++ {
+		copy(v.Row(i-nu), emb.Row(i))
+	}
+	return u, v, nil
+}

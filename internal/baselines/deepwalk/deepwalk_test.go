@@ -1,0 +1,66 @@
+package deepwalk
+
+import (
+	"testing"
+	"time"
+
+	"gebe/internal/bigraph"
+	"gebe/internal/dense"
+)
+
+func twoBlockGraph(t testing.TB) *bigraph.Graph {
+	var edges []bigraph.Edge
+	for u := 0; u < 12; u++ {
+		base := (u / 6) * 4
+		for d := 0; d < 3; d++ {
+			edges = append(edges, bigraph.Edge{U: u, V: base + d, W: 1})
+		}
+	}
+	g, err := bigraph.New(12, 8, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSplitEmbedding(t *testing.T) {
+	emb := dense.FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	u, v, err := SplitEmbedding(emb, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Rows != 2 || v.Rows != 1 {
+		t.Fatalf("split %d/%d", u.Rows, v.Rows)
+	}
+	if u.At(1, 1) != 4 || v.At(0, 0) != 5 {
+		t.Error("split copied wrong values")
+	}
+}
+
+func TestTrainCommunityStructure(t *testing.T) {
+	g := twoBlockGraph(t)
+	u, _, err := Train(g, Config{Dim: 8, WalksPerNode: 12, WalkLength: 20, Epochs: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	within := cosine(u.Row(0), u.Row(1))  // same block
+	across := cosine(u.Row(0), u.Row(10)) // other block (disconnected!)
+	if within <= across {
+		t.Errorf("within-block cos %.3f <= across-block %.3f", within, across)
+	}
+}
+
+func cosine(a, b []float64) float64 {
+	na, nb := dense.Norm2(a), dense.Norm2(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dense.Dot(a, b) / (na * nb)
+}
+
+func TestTrainDeadline(t *testing.T) {
+	g := twoBlockGraph(t)
+	if _, _, err := Train(g, Config{Dim: 4, Deadline: time.Now().Add(-time.Second)}); err == nil {
+		t.Error("expired deadline ignored")
+	}
+}

@@ -1,0 +1,170 @@
+// Package lightgcn re-implements LightGCN (He et al., SIGIR 2020): base
+// embeddings are propagated L times over the symmetrically normalized
+// bipartite adjacency, the layer outputs are averaged, and the averaged
+// embeddings are trained with the BPR pairwise loss. Gradients flow back
+// through the propagation by applying the (symmetric) propagation
+// operator to the batch gradient — the full-graph formulation of the
+// reference implementation.
+package lightgcn
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"time"
+
+	"gebe/internal/budget"
+
+	"gebe/internal/bigraph"
+	"gebe/internal/dense"
+	"gebe/internal/sparse"
+)
+
+// Config holds LightGCN hyperparameters.
+type Config struct {
+	Dim int
+	// Layers of propagation (default 3).
+	Layers int
+	// Epochs over the edge set (default 40), processed in Batch-sized
+	// chunks (default 2048 triples).
+	Epochs, Batch  int
+	LearnRate, Reg float64
+	Seed           uint64
+	Threads        int
+	// Deadline optionally bounds training (cooperative; zero = none).
+	Deadline time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Layers == 0 {
+		c.Layers = 3
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 40
+	}
+	if c.Batch == 0 {
+		c.Batch = 2048
+	}
+	if c.LearnRate == 0 {
+		c.LearnRate = 0.05
+	}
+	if c.Reg == 0 {
+		c.Reg = 1e-4
+	}
+	if c.Threads == 0 {
+		c.Threads = 1
+	}
+	return c
+}
+
+// Train fits LightGCN and returns the final (propagated) embeddings.
+func Train(g *bigraph.Graph, cfg Config) (u, v *dense.Matrix, err error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dim <= 0 {
+		return nil, nil, fmt.Errorf("lightgcn: Dim must be positive")
+	}
+	if g.NumEdges() == 0 {
+		return nil, nil, fmt.Errorf("lightgcn: empty graph")
+	}
+	// Normalized adjacency Ã = D_u^{-1/2} W D_v^{-1/2}.
+	du := make([]float64, g.NU)
+	dv := make([]float64, g.NV)
+	for _, e := range g.Edges {
+		du[e.U] += e.W
+		dv[e.V] += e.W
+	}
+	entries := make([]sparse.Entry, len(g.Edges))
+	for i, e := range g.Edges {
+		entries[i] = sparse.Entry{Row: e.U, Col: e.V,
+			Val: e.W / math.Sqrt(du[e.U]*dv[e.V])}
+	}
+	a, err := sparse.New(g.NU, g.NV, entries)
+	if err != nil {
+		return nil, nil, fmt.Errorf("lightgcn: %w", err)
+	}
+
+	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xd1310ba698dfb5ac))
+	e0u := dense.New(g.NU, cfg.Dim)
+	e0v := dense.New(g.NV, cfg.Dim)
+	for i := range e0u.Data {
+		e0u.Data[i] = rng.NormFloat64() * 0.1
+	}
+	for i := range e0v.Data {
+		e0v.Data[i] = rng.NormFloat64() * 0.1
+	}
+	liked := g.HasEdgeSet()
+
+	propagate := func(bu, bv *dense.Matrix) (*dense.Matrix, *dense.Matrix) {
+		// Mean over layers 0..L of alternating propagation.
+		outU := bu.Clone()
+		outV := bv.Clone()
+		curU, curV := bu, bv
+		for l := 1; l <= cfg.Layers; l++ {
+			nextU := a.MulDense(curV, cfg.Threads)
+			nextV := a.TMulDense(curU, cfg.Threads)
+			outU.AddScaled(1, nextU)
+			outV.AddScaled(1, nextV)
+			curU, curV = nextU, nextV
+		}
+		outU.Scale(1 / float64(cfg.Layers+1))
+		outV.Scale(1 / float64(cfg.Layers+1))
+		return outU, outV
+	}
+
+	batches := (len(g.Edges) + cfg.Batch - 1) / cfg.Batch
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for b := 0; b < batches; b++ {
+			if err := budget.Check(cfg.Deadline); err != nil {
+				return nil, nil, fmt.Errorf("lightgcn: %w", err)
+			}
+			eu, ev := propagate(e0u, e0v)
+			gradU := dense.New(g.NU, cfg.Dim)
+			gradV := dense.New(g.NV, cfg.Dim)
+			for s := 0; s < cfg.Batch; s++ {
+				e := g.Edges[rng.IntN(len(g.Edges))]
+				uu, pos := e.U, e.V
+				neg := rng.IntN(g.NV)
+				for tries := 0; liked[bigraph.PackEdge(uu, neg)] && tries < 50; tries++ {
+					neg = rng.IntN(g.NV)
+				}
+				urow := eu.Row(uu)
+				prow := ev.Row(pos)
+				nrow := ev.Row(neg)
+				var diff float64
+				for j := 0; j < cfg.Dim; j++ {
+					diff += urow[j] * (prow[j] - nrow[j])
+				}
+				gs := sigmoidNeg(diff)
+				gu := gradU.Row(uu)
+				gp := gradV.Row(pos)
+				gn := gradV.Row(neg)
+				for j := 0; j < cfg.Dim; j++ {
+					gu[j] += gs * (prow[j] - nrow[j])
+					gp[j] += gs * urow[j]
+					gn[j] -= gs * urow[j]
+				}
+			}
+			// Backprop the batch gradient through the propagation: the
+			// operator is symmetric, so grad_E0 = mean over layers of the
+			// same alternating propagation applied to grad_E.
+			bgU, bgV := propagate(gradU, gradV)
+			scale := cfg.LearnRate / float64(cfg.Batch)
+			e0u.AddScaled(scale, bgU)
+			e0v.AddScaled(scale, bgV)
+			e0u.AddScaled(-cfg.LearnRate*cfg.Reg, e0u.Clone())
+			e0v.AddScaled(-cfg.LearnRate*cfg.Reg, e0v.Clone())
+		}
+	}
+	u, v = propagate(e0u, e0v)
+	return u, v, nil
+}
+
+func sigmoidNeg(x float64) float64 {
+	if x > 30 {
+		return 0
+	}
+	if x < -30 {
+		return 1
+	}
+	return 1 / (1 + math.Exp(x))
+}

@@ -1,0 +1,91 @@
+package lightgcn
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"gebe/internal/bigraph"
+	"gebe/internal/dense"
+)
+
+func smallGraph(t testing.TB) *bigraph.Graph {
+	var edges []bigraph.Edge
+	for u := 0; u < 15; u++ {
+		for d := 0; d < 3; d++ {
+			edges = append(edges, bigraph.Edge{U: u, V: (u*2 + d) % 9, W: 1})
+		}
+	}
+	g, err := bigraph.New(15, 9, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestTrainShapesFinite(t *testing.T) {
+	g := smallGraph(t)
+	u, v, err := Train(g, Config{Dim: 6, Epochs: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Rows != 15 || v.Rows != 9 || u.Cols != 6 {
+		t.Fatalf("shapes %dx%d %dx%d", u.Rows, u.Cols, v.Rows, v.Cols)
+	}
+	for _, x := range append(append([]float64{}, u.Data...), v.Data...) {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Fatal("non-finite embedding entry")
+		}
+	}
+}
+
+// TestPropagationSmooths: after training, embeddings of users sharing all
+// items should be closer than embeddings of users sharing none — the
+// effect of LightGCN's neighborhood averaging.
+func TestPropagationSmooths(t *testing.T) {
+	var edges []bigraph.Edge
+	// Users 0,1 share items 0,1,2; user 2 has items 3,4,5.
+	for _, u := range []int{0, 1} {
+		for v := 0; v < 3; v++ {
+			edges = append(edges, bigraph.Edge{U: u, V: v, W: 1})
+		}
+	}
+	for v := 3; v < 6; v++ {
+		edges = append(edges, bigraph.Edge{U: 2, V: v, W: 1})
+	}
+	g, err := bigraph.New(3, 6, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, _, err := Train(g, Config{Dim: 8, Epochs: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := cosine(u.Row(0), u.Row(1))
+	diff := cosine(u.Row(0), u.Row(2))
+	if same <= diff {
+		t.Errorf("twin users cos %.3f <= disjoint users cos %.3f", same, diff)
+	}
+}
+
+func cosine(a, b []float64) float64 {
+	na, nb := dense.Norm2(a), dense.Norm2(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dense.Dot(a, b) / (na * nb)
+}
+
+func TestValidationAndDeadline(t *testing.T) {
+	g := smallGraph(t)
+	if _, _, err := Train(g, Config{Dim: 0}); err == nil {
+		t.Error("Dim=0 accepted")
+	}
+	empty, _ := bigraph.New(2, 2, nil)
+	if _, _, err := Train(empty, Config{Dim: 2}); err == nil {
+		t.Error("empty graph accepted")
+	}
+	if _, _, err := Train(g, Config{Dim: 4, Deadline: time.Now().Add(-time.Second)}); err == nil {
+		t.Error("expired deadline ignored")
+	}
+}

@@ -1,0 +1,163 @@
+// Package line re-implements LINE (Tang et al., WWW 2015) with first- and
+// second-order proximity, trained by weighted edge sampling with negative
+// sampling on the homogeneous view of the bipartite graph. The final
+// embedding concatenates the two halves (dim/2 each), the configuration
+// the original paper recommends.
+package line
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"time"
+
+	"gebe/internal/budget"
+
+	"gebe/internal/baselines/deepwalk"
+	"gebe/internal/bigraph"
+	"gebe/internal/dense"
+	"gebe/internal/sampling"
+)
+
+// Config holds LINE hyperparameters.
+type Config struct {
+	Dim int
+	// SamplesPerEdge controls total SGD steps: |E|·SamplesPerEdge per
+	// order (default 50).
+	SamplesPerEdge int
+	Negatives      int
+	LearnRate      float64
+	Seed           uint64
+	Threads        int // accepted for interface symmetry; LINE trains single-threaded here
+	// Deadline optionally bounds training (cooperative; zero = none).
+	Deadline time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.SamplesPerEdge == 0 {
+		c.SamplesPerEdge = 50
+	}
+	if c.Negatives == 0 {
+		c.Negatives = 5
+	}
+	if c.LearnRate == 0 {
+		c.LearnRate = 0.025
+	}
+	return c
+}
+
+// Train embeds g with LINE(1st)+LINE(2nd).
+func Train(g *bigraph.Graph, cfg Config) (u, v *dense.Matrix, err error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dim < 2 {
+		return nil, nil, fmt.Errorf("line: Dim must be >= 2, got %d", cfg.Dim)
+	}
+	if g.NumEdges() == 0 {
+		return nil, nil, fmt.Errorf("line: empty graph")
+	}
+	half := cfg.Dim / 2
+	rest := cfg.Dim - half
+	first, err := trainOrder(g, rest, cfg, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	second, err := trainOrder(g, half, cfg, 2)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := g.NU + g.NV
+	emb := dense.New(n, cfg.Dim)
+	for i := 0; i < n; i++ {
+		copy(emb.Row(i)[:rest], first.Row(i))
+		copy(emb.Row(i)[rest:], second.Row(i))
+	}
+	return deepwalk.SplitEmbedding(emb, g.NU)
+}
+
+// trainOrder runs one LINE order. Order 1 ties the two endpoint vectors
+// directly; order 2 uses separate context vectors.
+func trainOrder(g *bigraph.Graph, dim int, cfg Config, order int) (*dense.Matrix, error) {
+	n := g.NU + g.NV
+	// Edge alias by weight; node alias for negatives by degree^{3/4}.
+	ew := make([]float64, len(g.Edges))
+	degW := make([]float64, n)
+	for i, e := range g.Edges {
+		ew[i] = e.W
+		degW[e.U] += e.W
+		degW[g.NU+e.V] += e.W
+	}
+	for i := range degW {
+		degW[i] = math.Pow(degW[i], 0.75)
+	}
+	edgeAlias := sampling.MustAlias(ew)
+	negAlias := sampling.MustAlias(degW)
+
+	rng := rand.New(rand.NewPCG(cfg.Seed+uint64(order), cfg.Seed^0x9216d5d98979fb1b))
+	emb := dense.New(n, dim)
+	for i := range emb.Data {
+		emb.Data[i] = (rng.Float64() - 0.5) / float64(dim)
+	}
+	ctx := emb
+	if order == 2 {
+		ctx = dense.New(n, dim)
+	}
+	steps := cfg.SamplesPerEdge * len(g.Edges)
+	grad := make([]float64, dim)
+	for s := 0; s < steps; s++ {
+		if s%8192 == 0 {
+			if err := budget.Check(cfg.Deadline); err != nil {
+				return nil, fmt.Errorf("line: %w", err)
+			}
+		}
+		lr := cfg.LearnRate * (1 - float64(s)/float64(steps))
+		if lr < cfg.LearnRate*1e-4 {
+			lr = cfg.LearnRate * 1e-4
+		}
+		ei := edgeAlias.Sample(rng)
+		src := g.Edges[ei].U
+		dst := g.NU + g.Edges[ei].V
+		// Undirected: flip direction half the time.
+		if rng.IntN(2) == 0 {
+			src, dst = dst, src
+		}
+		svec := emb.Row(src)
+		for j := range grad {
+			grad[j] = 0
+		}
+		for neg := 0; neg <= cfg.Negatives; neg++ {
+			var target int
+			var label float64
+			if neg == 0 {
+				target = dst
+				label = 1
+			} else {
+				target = negAlias.Sample(rng)
+				if target == dst {
+					continue
+				}
+				label = 0
+			}
+			tvec := ctx.Row(target)
+			f := sigmoid(dense.Dot(svec, tvec))
+			gstep := (label - f) * lr
+			for j := 0; j < dim; j++ {
+				grad[j] += gstep * tvec[j]
+				tvec[j] += gstep * svec[j]
+			}
+		}
+		for j := 0; j < dim; j++ {
+			svec[j] += grad[j]
+		}
+	}
+	return emb, nil
+}
+
+func sigmoid(z float64) float64 {
+	if z > 8 {
+		return 1
+	}
+	if z < -8 {
+		return 0
+	}
+	return 1 / (1 + math.Exp(-z))
+}

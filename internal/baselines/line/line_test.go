@@ -1,0 +1,73 @@
+package line
+
+import (
+	"testing"
+	"time"
+
+	"gebe/internal/bigraph"
+)
+
+func lineGraph(t testing.TB) *bigraph.Graph {
+	var edges []bigraph.Edge
+	for u := 0; u < 10; u++ {
+		edges = append(edges, bigraph.Edge{U: u, V: u % 6, W: 1})
+		edges = append(edges, bigraph.Edge{U: u, V: (u + 1) % 6, W: 2})
+	}
+	g, err := bigraph.New(10, 6, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestTrainDimSplit(t *testing.T) {
+	g := lineGraph(t)
+	// Odd dimensionality: the two orders split as floor/ceil.
+	u, v, err := Train(g, Config{Dim: 7, SamplesPerEdge: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Cols != 7 || v.Cols != 7 || u.Rows != 10 || v.Rows != 6 {
+		t.Fatalf("shapes %dx%d %dx%d", u.Rows, u.Cols, v.Rows, v.Cols)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	g := lineGraph(t)
+	if _, _, err := Train(g, Config{Dim: 1}); err == nil {
+		t.Error("Dim=1 accepted (needs >= 2 for the two orders)")
+	}
+	empty, _ := bigraph.New(2, 2, nil)
+	if _, _, err := Train(empty, Config{Dim: 4}); err == nil {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestTrainDeadline(t *testing.T) {
+	g := lineGraph(t)
+	if _, _, err := Train(g, Config{Dim: 4, Deadline: time.Now().Add(-time.Second)}); err == nil {
+		t.Error("expired deadline ignored")
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	g := lineGraph(t)
+	u1, v1, err := Train(g, Config{Dim: 4, SamplesPerEdge: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, v2, err := Train(g, Config{Dim: 4, SamplesPerEdge: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range u1.Data {
+		if u1.Data[i] != u2.Data[i] {
+			t.Fatal("U differs for equal seeds")
+		}
+	}
+	for i := range v1.Data {
+		if v1.Data[i] != v2.Data[i] {
+			t.Fatal("V differs for equal seeds")
+		}
+	}
+}

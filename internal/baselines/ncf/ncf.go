@@ -1,0 +1,201 @@
+// Package ncf re-implements Neural Collaborative Filtering (He et al.,
+// WWW 2017) in its NeuMF form, scaled down: a GMF branch (element-wise
+// product of user/item embeddings through a learned linear head) fused
+// with a one-hidden-layer MLP branch over the concatenated embeddings,
+// trained on observed edges against sampled negatives with log loss.
+//
+// The experiment harness consumes (U,V) matrices scored by dot products,
+// so Train exports the GMF tables folded with the learned head weights:
+// U'[u] = U[u]·√|h|·sign-split, V'[v] = V[v]·√|h|, which reproduces the
+// GMF branch's score as a plain dot product (the MLP branch still shapes
+// the embeddings through shared training).
+package ncf
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"time"
+
+	"gebe/internal/budget"
+
+	"gebe/internal/bigraph"
+	"gebe/internal/dense"
+)
+
+// Config holds NCF hyperparameters.
+type Config struct {
+	Dim int
+	// Hidden is the MLP hidden width (default Dim).
+	Hidden int
+	// Epochs over the edge set (default 20); Negatives per positive
+	// (default 4).
+	Epochs, Negatives int
+	LearnRate, Reg    float64
+	Seed              uint64
+	// Deadline optionally bounds training (cooperative; zero = none).
+	Deadline time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Hidden == 0 {
+		c.Hidden = c.Dim
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 20
+	}
+	if c.Negatives == 0 {
+		c.Negatives = 4
+	}
+	if c.LearnRate == 0 {
+		c.LearnRate = 0.02
+	}
+	if c.Reg == 0 {
+		c.Reg = 1e-5
+	}
+	return c
+}
+
+// Train fits NeuMF-lite and returns dot-product-compatible embeddings.
+func Train(g *bigraph.Graph, cfg Config) (u, v *dense.Matrix, err error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dim <= 0 {
+		return nil, nil, fmt.Errorf("ncf: Dim must be positive")
+	}
+	if g.NumEdges() == 0 {
+		return nil, nil, fmt.Errorf("ncf: empty graph")
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x24a19947b3916cf7))
+	d, hid := cfg.Dim, cfg.Hidden
+	ue := dense.New(g.NU, d)
+	ve := dense.New(g.NV, d)
+	for i := range ue.Data {
+		ue.Data[i] = rng.NormFloat64() * 0.1
+	}
+	for i := range ve.Data {
+		ve.Data[i] = rng.NormFloat64() * 0.1
+	}
+	// GMF head h (d), MLP: W1 (hid × 2d), b1 (hid), w2 (hid), fusion bias.
+	h := make([]float64, d)
+	for i := range h {
+		h[i] = 1 + rng.NormFloat64()*0.01
+	}
+	w1 := make([]float64, hid*2*d)
+	for i := range w1 {
+		w1[i] = rng.NormFloat64() * math.Sqrt(2/float64(2*d))
+	}
+	b1 := make([]float64, hid)
+	w2 := make([]float64, hid)
+	for i := range w2 {
+		w2[i] = rng.NormFloat64() * 0.1
+	}
+	var bias float64
+
+	z := make([]float64, hid)   // hidden pre-activations
+	act := make([]float64, hid) // hidden activations (ReLU)
+	steps := cfg.Epochs * len(g.Edges)
+	for s := 0; s < steps; s++ {
+		if s%4096 == 0 {
+			if err := budget.Check(cfg.Deadline); err != nil {
+				return nil, nil, fmt.Errorf("ncf: %w", err)
+			}
+		}
+		lr := cfg.LearnRate * (1 - float64(s)/float64(steps))
+		if lr < cfg.LearnRate*1e-2 {
+			lr = cfg.LearnRate * 1e-2
+		}
+		e := g.Edges[rng.IntN(len(g.Edges))]
+		for neg := 0; neg <= cfg.Negatives; neg++ {
+			uu := e.U
+			vv := e.V
+			label := 1.0
+			if neg > 0 {
+				vv = rng.IntN(g.NV)
+				label = 0
+			}
+			urow := ue.Row(uu)
+			vrow := ve.Row(vv)
+			// Forward: GMF score + MLP score.
+			var gmf float64
+			for j := 0; j < d; j++ {
+				gmf += h[j] * urow[j] * vrow[j]
+			}
+			for k := 0; k < hid; k++ {
+				zk := b1[k]
+				wrow := w1[k*2*d : (k+1)*2*d]
+				for j := 0; j < d; j++ {
+					zk += wrow[j]*urow[j] + wrow[d+j]*vrow[j]
+				}
+				z[k] = zk
+				if zk > 0 {
+					act[k] = zk
+				} else {
+					act[k] = 0
+				}
+			}
+			var mlp float64
+			for k := 0; k < hid; k++ {
+				mlp += w2[k] * act[k]
+			}
+			p := sigmoid(gmf + mlp + bias)
+			gout := (label - p) * lr
+			// Backward.
+			bias += gout
+			for k := 0; k < hid; k++ {
+				gw2 := gout * act[k]
+				var gz float64
+				if z[k] > 0 {
+					gz = gout * w2[k]
+				}
+				w2[k] += gw2 - lr*cfg.Reg*w2[k]
+				if gz != 0 {
+					b1[k] += gz
+					wrow := w1[k*2*d : (k+1)*2*d]
+					for j := 0; j < d; j++ {
+						gu := gz * wrow[j]
+						gv := gz * wrow[d+j]
+						wrow[j] += gz * urow[j]
+						wrow[d+j] += gz * vrow[j]
+						urow[j] += gu
+						vrow[j] += gv
+					}
+				}
+			}
+			for j := 0; j < d; j++ {
+				gh := gout * urow[j] * vrow[j]
+				gu := gout * h[j] * vrow[j]
+				gv := gout * h[j] * urow[j]
+				h[j] += gh
+				urow[j] += gu - lr*cfg.Reg*urow[j]
+				vrow[j] += gv - lr*cfg.Reg*vrow[j]
+			}
+		}
+	}
+	// Fold the GMF head into the tables so dot(U'[u], V'[v]) = GMF score.
+	u = ue.Clone()
+	v = ve.Clone()
+	for j := 0; j < d; j++ {
+		r := math.Sqrt(math.Abs(h[j]))
+		sign := 1.0
+		if h[j] < 0 {
+			sign = -1
+		}
+		for i := 0; i < g.NU; i++ {
+			u.Data[i*d+j] *= r * sign
+		}
+		for i := 0; i < g.NV; i++ {
+			v.Data[i*d+j] *= r
+		}
+	}
+	return u, v, nil
+}
+
+func sigmoid(z float64) float64 {
+	if z > 12 {
+		return 1
+	}
+	if z < -12 {
+		return 0
+	}
+	return 1 / (1 + math.Exp(-z))
+}

@@ -1,0 +1,80 @@
+package ncf
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"gebe/internal/bigraph"
+	"gebe/internal/dense"
+)
+
+func ratingGraph(t testing.TB) *bigraph.Graph {
+	var edges []bigraph.Edge
+	for u := 0; u < 16; u++ {
+		for d := 0; d < 4; d++ {
+			edges = append(edges, bigraph.Edge{U: u, V: (u + d*3) % 10, W: 1})
+		}
+	}
+	g, err := bigraph.New(16, 10, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestTrainProducesFiniteDotScores(t *testing.T) {
+	g := ratingGraph(t)
+	u, v, err := Train(g, Config{Dim: 6, Epochs: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for uu := 0; uu < g.NU; uu++ {
+		for vv := 0; vv < g.NV; vv++ {
+			s := dense.Dot(u.Row(uu), v.Row(vv))
+			if math.IsNaN(s) || math.IsInf(s, 0) {
+				t.Fatalf("score (%d,%d) not finite", uu, vv)
+			}
+		}
+	}
+}
+
+func TestTrainSeparatesObservedFromRandom(t *testing.T) {
+	g := ratingGraph(t)
+	u, v, err := Train(g, Config{Dim: 8, Epochs: 12, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	liked := g.HasEdgeSet()
+	var posSum, negSum float64
+	var posN, negN int
+	for uu := 0; uu < g.NU; uu++ {
+		for vv := 0; vv < g.NV; vv++ {
+			s := dense.Dot(u.Row(uu), v.Row(vv))
+			if liked[bigraph.PackEdge(uu, vv)] {
+				posSum += s
+				posN++
+			} else {
+				negSum += s
+				negN++
+			}
+		}
+	}
+	if posSum/float64(posN) <= negSum/float64(negN) {
+		t.Error("observed pairs do not outscore unobserved ones on average")
+	}
+}
+
+func TestValidationAndDeadline(t *testing.T) {
+	g := ratingGraph(t)
+	if _, _, err := Train(g, Config{Dim: 0}); err == nil {
+		t.Error("Dim=0 accepted")
+	}
+	empty, _ := bigraph.New(2, 2, nil)
+	if _, _, err := Train(empty, Config{Dim: 2}); err == nil {
+		t.Error("empty graph accepted")
+	}
+	if _, _, err := Train(g, Config{Dim: 4, Deadline: time.Now().Add(-time.Second)}); err == nil {
+		t.Error("expired deadline ignored")
+	}
+}

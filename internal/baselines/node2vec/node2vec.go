@@ -1,0 +1,56 @@
+// Package node2vec re-implements node2vec (Grover & Leskovec, KDD 2016):
+// DeepWalk with second-order (p,q)-biased walks, realized by rejection
+// sampling so hub-heavy bipartite graphs need no per-edge alias tables.
+package node2vec
+
+import (
+	"time"
+
+	"gebe/internal/baselines/deepwalk"
+	"gebe/internal/baselines/sgns"
+	"gebe/internal/baselines/walk"
+	"gebe/internal/bigraph"
+	"gebe/internal/dense"
+)
+
+// Config holds node2vec hyperparameters; P and Q default to the paper's
+// common 4 and 0.25 grid midpoint of (1, 1) — we default to p=4, q=1
+// which favours outward exploration on bipartite structures.
+type Config struct {
+	Dim                      int
+	WalksPerNode, WalkLength int
+	Window, Negatives        int
+	Epochs                   int
+	P, Q                     float64
+	Seed                     uint64
+	Threads                  int
+	// Deadline optionally bounds training (cooperative; zero = none).
+	Deadline time.Time
+}
+
+// Train runs node2vec on the homogeneous view of g.
+func Train(g *bigraph.Graph, cfg Config) (u, v *dense.Matrix, err error) {
+	if cfg.P == 0 {
+		cfg.P = 4
+	}
+	if cfg.Q == 0 {
+		cfg.Q = 1
+	}
+	wg := walk.NewGraph(g)
+	walks, err := walk.Generate(wg, walk.Config{
+		WalksPerNode: cfg.WalksPerNode, WalkLength: cfg.WalkLength,
+		P: cfg.P, Q: cfg.Q, Seed: cfg.Seed, Deadline: cfg.Deadline,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	emb, err := sgns.Train(walks, wg.N, sgns.Config{
+		Dim: cfg.Dim, Window: cfg.Window, Negatives: cfg.Negatives,
+		Epochs: cfg.Epochs, Threads: cfg.Threads, Seed: cfg.Seed,
+		Deadline: cfg.Deadline,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return deepwalk.SplitEmbedding(emb, g.NU)
+}

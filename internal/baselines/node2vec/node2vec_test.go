@@ -1,0 +1,47 @@
+package node2vec
+
+import (
+	"testing"
+	"time"
+
+	"gebe/internal/bigraph"
+)
+
+func smallGraph(t testing.TB) *bigraph.Graph {
+	var edges []bigraph.Edge
+	for u := 0; u < 10; u++ {
+		for d := 0; d < 3; d++ {
+			edges = append(edges, bigraph.Edge{U: u, V: (u + d) % 6, W: 1})
+		}
+	}
+	g, err := bigraph.New(10, 6, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestTrainDefaultsPQ(t *testing.T) {
+	g := smallGraph(t)
+	u, v, err := Train(g, Config{Dim: 6, WalksPerNode: 4, WalkLength: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Rows != 10 || v.Rows != 6 {
+		t.Fatalf("shapes %dx%d %dx%d", u.Rows, u.Cols, v.Rows, v.Cols)
+	}
+}
+
+func TestTrainRejectsNegativePQ(t *testing.T) {
+	g := smallGraph(t)
+	if _, _, err := Train(g, Config{Dim: 4, P: -1, Q: 1}); err == nil {
+		t.Error("negative P accepted")
+	}
+}
+
+func TestTrainDeadline(t *testing.T) {
+	g := smallGraph(t)
+	if _, _, err := Train(g, Config{Dim: 4, Deadline: time.Now().Add(-time.Second)}); err == nil {
+		t.Error("expired deadline ignored")
+	}
+}

@@ -1,0 +1,131 @@
+package nrp
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"gebe/internal/bigraph"
+	"gebe/internal/dense"
+	"gebe/internal/pmf"
+)
+
+func smallGraph(t testing.TB) *bigraph.Graph {
+	var edges []bigraph.Edge
+	for u := 0; u < 12; u++ {
+		for d := 0; d < 3; d++ {
+			edges = append(edges, bigraph.Edge{U: u, V: (u + d) % 8, W: float64(1 + d)})
+		}
+	}
+	g, err := bigraph.New(12, 8, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestPPROperatorMatchesDense verifies applyM against an explicit dense
+// construction of M = Σ ω(ℓ)(W_r W_cᵀ)^ℓ W_r.
+func TestPPROperatorMatchesDense(t *testing.T) {
+	g := smallGraph(t)
+	w := buildW(g)
+	wr := normalizeRows(w)
+	wcT := normalizeRows(w.T())
+	om := pmf.NewGeometric(0.15)
+	tau := 4
+	op := pprOperator{wr: wr, wcT: wcT, omega: om, tau: tau, threads: 1}
+
+	// Dense M.
+	wrD := wr.ToDense()
+	wcD := wcT.ToDense().T()     // column-normalized W (|U|×|V|)
+	step := dense.MulT(wrD, wcD) // W_r · W_cᵀ (MulT(a,b) = a·bᵀ)
+	m := wrD.Clone()
+	m.Scale(om.Weight(0))
+	cur := wrD
+	for ell := 1; ell <= tau; ell++ {
+		cur = dense.Mul(step, cur)
+		m.AddScaled(om.Weight(ell), cur)
+	}
+	// Compare M·x.
+	x := dense.Random(g.NV, 3, newTestRand())
+	got := op.applyM(x)
+	want := dense.Mul(m, x)
+	if !dense.Equal(got, want, 1e-10) {
+		t.Errorf("applyM mismatch (max dev %g)", dense.Sub(got, want).MaxAbs())
+	}
+	// Compare Mᵀ·y.
+	y := dense.Random(g.NU, 3, newTestRand())
+	gotT := op.applyMT(y)
+	wantT := dense.Mul(m.T(), y)
+	if !dense.Equal(gotT, wantT, 1e-10) {
+		t.Errorf("applyMT mismatch (max dev %g)", dense.Sub(gotT, wantT).MaxAbs())
+	}
+}
+
+func newTestRand() *rand.Rand {
+	return rand.New(rand.NewPCG(12345, 678))
+}
+
+func TestTrainShapesAndReweighting(t *testing.T) {
+	g := smallGraph(t)
+	u, v, err := Train(g, Config{Dim: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Rows != g.NU || v.Rows != g.NV || u.Cols != 4 {
+		t.Fatalf("shapes %dx%d %dx%d", u.Rows, u.Cols, v.Rows, v.Cols)
+	}
+	// Reweighting fits row sums toward weighted degrees: the total score
+	// mass Σ_v U[u]·V[v] should correlate with deg(u).
+	du := degrees(g, true)
+	vSum := make([]float64, 4)
+	for j := 0; j < g.NV; j++ {
+		for c := 0; c < 4; c++ {
+			vSum[c] += v.At(j, c)
+		}
+	}
+	var num, den1, den2 float64
+	for i := 0; i < g.NU; i++ {
+		s := dense.Dot(u.Row(i), vSum)
+		num += s * du[i]
+		den1 += s * s
+		den2 += du[i] * du[i]
+	}
+	if corr := num / math.Sqrt(den1*den2); corr < 0.8 {
+		t.Errorf("degree correlation %.3f too weak for reweighted PPR", corr)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	g := smallGraph(t)
+	if _, _, err := Train(g, Config{Dim: 0}); err == nil {
+		t.Error("Dim=0 accepted")
+	}
+	if _, _, err := Train(g, Config{Dim: 100}); err == nil {
+		t.Error("Dim > min(|U|,|V|) accepted")
+	}
+	empty, _ := bigraph.New(3, 3, nil)
+	if _, _, err := Train(empty, Config{Dim: 2}); err == nil {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestTrainDeadline(t *testing.T) {
+	g := smallGraph(t)
+	if _, _, err := Train(g, Config{Dim: 4, Deadline: time.Now().Add(-time.Second)}); err == nil {
+		t.Error("expired deadline ignored")
+	}
+}
+
+func TestClampPos(t *testing.T) {
+	if clampPos(math.NaN()) != 1e-3 || clampPos(-5) != 1e-3 {
+		t.Error("clampPos lower bound wrong")
+	}
+	if clampPos(1e9) != 1e3 {
+		t.Error("clampPos upper bound wrong")
+	}
+	if clampPos(2.5) != 2.5 {
+		t.Error("clampPos altered a valid value")
+	}
+}

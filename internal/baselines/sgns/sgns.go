@@ -1,0 +1,202 @@
+// Package sgns implements skip-gram with negative sampling (Mikolov et
+// al.), the training core of DeepWalk, node2vec, LINE and BiNE. Walks are
+// treated as sentences; each (center, context) pair inside the window is
+// trained against Negatives sampled from the unigram^{3/4} distribution.
+package sgns
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gebe/internal/budget"
+
+	"gebe/internal/dense"
+	"gebe/internal/sampling"
+)
+
+// Config controls SGNS training; zero values select the usual defaults.
+type Config struct {
+	// Dim is the embedding dimensionality (required).
+	Dim int
+	// Window is the skip-gram context radius (default 5).
+	Window int
+	// Negatives per positive pair (default 5).
+	Negatives int
+	// Epochs over the walk corpus (default 2).
+	Epochs int
+	// LearnRate is the initial SGD step, linearly decayed (default 0.025).
+	LearnRate float64
+	// Threads shards walks across goroutines Hogwild-style (default 1;
+	// >1 trades bitwise determinism for speed, as word2vec does).
+	Threads int
+	Seed    uint64
+	// Deadline optionally bounds training (cooperative; zero = none).
+	Deadline time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window == 0 {
+		c.Window = 5
+	}
+	if c.Negatives == 0 {
+		c.Negatives = 5
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 2
+	}
+	if c.LearnRate == 0 {
+		c.LearnRate = 0.025
+	}
+	if c.Threads == 0 {
+		c.Threads = 1
+	}
+	if c.Threads > runtime.GOMAXPROCS(0) {
+		c.Threads = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Train runs SGNS over the walk corpus and returns the input ("center")
+// embedding matrix, vocabSize×Dim. Nodes that never appear keep zero
+// vectors.
+func Train(walks [][]int32, vocabSize int, cfg Config) (*dense.Matrix, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dim <= 0 {
+		return nil, fmt.Errorf("sgns: Dim must be positive")
+	}
+	if vocabSize <= 0 {
+		return nil, fmt.Errorf("sgns: empty vocabulary")
+	}
+	counts := make([]float64, vocabSize)
+	total := 0
+	for _, w := range walks {
+		for _, x := range w {
+			if int(x) >= vocabSize || x < 0 {
+				return nil, fmt.Errorf("sgns: token %d outside vocabulary %d", x, vocabSize)
+			}
+			counts[x]++
+			total++
+		}
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("sgns: empty corpus")
+	}
+	for i := range counts {
+		counts[i] = math.Pow(counts[i], 0.75)
+	}
+	negTable := sampling.MustAlias(counts)
+
+	in := dense.New(vocabSize, cfg.Dim)
+	out := dense.New(vocabSize, cfg.Dim)
+	initRng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xbe5466cf34e90c6c))
+	for i := range in.Data {
+		in.Data[i] = (initRng.Float64() - 0.5) / float64(cfg.Dim)
+	}
+
+	steps := cfg.Epochs * len(walks)
+	var done int64
+	var hitDeadline atomic.Bool
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	chunk := (len(walks) + cfg.Threads - 1) / cfg.Threads
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for lo := 0; lo < len(walks); lo += chunk {
+			hi := lo + chunk
+			if hi > len(walks) {
+				hi = len(walks)
+			}
+			wg.Add(1)
+			go func(walks [][]int32, seed uint64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewPCG(seed, seed^0xc0ac29b7c97c50dd))
+				grad := make([]float64, cfg.Dim)
+				for wi, w := range walks {
+					if wi%256 == 0 && budget.Exceeded(cfg.Deadline) {
+						hitDeadline.Store(true)
+						return
+					}
+					mu.Lock()
+					progress := float64(done) / float64(steps)
+					done++
+					mu.Unlock()
+					lr := cfg.LearnRate * (1 - progress)
+					if lr < cfg.LearnRate*1e-4 {
+						lr = cfg.LearnRate * 1e-4
+					}
+					trainWalk(w, in, out, negTable, cfg, lr, rng, grad)
+				}
+			}(walks[lo:hi], cfg.Seed+uint64(epoch)*1000003+uint64(lo))
+		}
+		wg.Wait()
+		if hitDeadline.Load() {
+			return nil, fmt.Errorf("sgns: %w", budget.ErrExceeded)
+		}
+	}
+	return in, nil
+}
+
+func trainWalk(w []int32, in, out *dense.Matrix, negTable *sampling.Alias, cfg Config, lr float64, rng *rand.Rand, grad []float64) {
+	dim := cfg.Dim
+	for ci, center := range w {
+		// Dynamic window, as in word2vec.
+		win := 1 + rng.IntN(cfg.Window)
+		lo := ci - win
+		if lo < 0 {
+			lo = 0
+		}
+		hi := ci + win
+		if hi >= len(w) {
+			hi = len(w) - 1
+		}
+		cvec := in.Row(int(center))
+		for pos := lo; pos <= hi; pos++ {
+			if pos == ci {
+				continue
+			}
+			context := int(w[pos])
+			for j := range grad {
+				grad[j] = 0
+			}
+			// Positive pair + negatives.
+			for s := 0; s <= cfg.Negatives; s++ {
+				var target int
+				var label float64
+				if s == 0 {
+					target = context
+					label = 1
+				} else {
+					target = negTable.Sample(rng)
+					if target == context {
+						continue
+					}
+					label = 0
+				}
+				tvec := out.Row(target)
+				f := sigmoid(dense.Dot(cvec, tvec))
+				g := (label - f) * lr
+				for j := 0; j < dim; j++ {
+					grad[j] += g * tvec[j]
+					tvec[j] += g * cvec[j]
+				}
+			}
+			for j := 0; j < dim; j++ {
+				cvec[j] += grad[j]
+			}
+		}
+	}
+}
+
+func sigmoid(z float64) float64 {
+	if z > 8 {
+		return 1
+	}
+	if z < -8 {
+		return 0
+	}
+	return 1 / (1 + math.Exp(-z))
+}

@@ -1,0 +1,103 @@
+package sgns
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"gebe/internal/dense"
+)
+
+// cliqueCorpus builds walks where tokens {0,1,2} always co-occur and
+// tokens {3,4,5} always co-occur, never across groups.
+func cliqueCorpus(n int) [][]int32 {
+	var walks [][]int32
+	for i := 0; i < n; i++ {
+		walks = append(walks, []int32{0, 1, 2, 0, 1, 2, 0, 1, 2})
+		walks = append(walks, []int32{3, 4, 5, 3, 4, 5, 3, 4, 5})
+	}
+	return walks
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, 5, Config{Dim: 4}); err == nil {
+		t.Error("empty corpus accepted")
+	}
+	if _, err := Train([][]int32{{0}}, 5, Config{Dim: 0}); err == nil {
+		t.Error("Dim=0 accepted")
+	}
+	if _, err := Train([][]int32{{7}}, 5, Config{Dim: 4}); err == nil {
+		t.Error("out-of-vocabulary token accepted")
+	}
+	if _, err := Train([][]int32{{0}}, 0, Config{Dim: 4}); err == nil {
+		t.Error("empty vocabulary accepted")
+	}
+}
+
+func TestTrainSeparatesCliques(t *testing.T) {
+	emb, err := Train(cliqueCorpus(150), 6, Config{Dim: 8, Window: 3, Epochs: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	within := cos(emb.Row(0), emb.Row(1))
+	across := cos(emb.Row(0), emb.Row(3))
+	if within <= across {
+		t.Errorf("within-clique cos %.3f should exceed across-clique %.3f", within, across)
+	}
+	if within < 0.5 {
+		t.Errorf("within-clique cos %.3f implausibly low", within)
+	}
+}
+
+func TestUnseenTokensStayZero(t *testing.T) {
+	emb, err := Train([][]int32{{0, 1, 0, 1}}, 4, Config{Dim: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tokens 2 and 3 never appear; their input vectors keep random init
+	// but receive no gradient — check they are tiny (init scale 1/(2·Dim)).
+	for _, tok := range []int{2, 3} {
+		if n := dense.Norm2(emb.Row(tok)); n > 0.5 {
+			t.Errorf("unseen token %d norm %.3f", tok, n)
+		}
+	}
+}
+
+func TestTrainDeterministicSingleThread(t *testing.T) {
+	a, err := Train(cliqueCorpus(20), 6, Config{Dim: 4, Seed: 7, Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(cliqueCorpus(20), 6, Config{Dim: 4, Seed: 7, Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dense.Equal(a, b, 0) {
+		t.Error("single-thread SGNS not deterministic")
+	}
+}
+
+func TestTrainDeadline(t *testing.T) {
+	_, err := Train(cliqueCorpus(50), 6, Config{Dim: 4, Seed: 1,
+		Deadline: time.Now().Add(-time.Second)})
+	if err == nil {
+		t.Error("expired deadline ignored")
+	}
+}
+
+func cos(a, b []float64) float64 {
+	na, nb := dense.Norm2(a), dense.Norm2(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dense.Dot(a, b) / (na * nb)
+}
+
+func TestSigmoidBounds(t *testing.T) {
+	if sigmoid(100) != 1 || sigmoid(-100) != 0 {
+		t.Error("sigmoid clamps wrong")
+	}
+	if math.Abs(sigmoid(0)-0.5) > 1e-12 {
+		t.Error("sigmoid(0) != 0.5")
+	}
+}

@@ -1,0 +1,209 @@
+// Package walk provides the random-walk engine shared by the
+// walk-sampling baselines (DeepWalk, node2vec, BiNE, CSE). Bipartite
+// graphs are walked as homogeneous graphs over |U|+|V| nodes — exactly
+// how the paper applies homogeneous embedding methods to BNE — with
+// node ids 0..|U|-1 for U and |U|..|U|+|V|-1 for V.
+package walk
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"time"
+
+	"gebe/internal/budget"
+
+	"gebe/internal/bigraph"
+	"gebe/internal/sampling"
+)
+
+// Graph is the homogeneous walk view of a bipartite graph.
+type Graph struct {
+	// N is the total node count |U|+|V|; NU the size of the U side.
+	N, NU int
+	// Nbrs[x] lists x's neighbors in ascending order; W the weights.
+	Nbrs [][]int32
+	W    [][]float64
+	// alias[x] samples a neighbor index of x proportionally to weight.
+	alias []*sampling.Alias
+}
+
+// NewGraph builds the homogeneous view of g.
+func NewGraph(g *bigraph.Graph) *Graph {
+	n := g.NU + g.NV
+	w := &Graph{N: n, NU: g.NU, Nbrs: make([][]int32, n), W: make([][]float64, n)}
+	for _, e := range g.Edges {
+		u := int32(e.U)
+		v := int32(g.NU + e.V)
+		w.Nbrs[u] = append(w.Nbrs[u], v)
+		w.W[u] = append(w.W[u], e.W)
+		w.Nbrs[v] = append(w.Nbrs[v], u)
+		w.W[v] = append(w.W[v], e.W)
+	}
+	for x := 0; x < n; x++ {
+		sortNbrs(w.Nbrs[x], w.W[x])
+		if len(w.Nbrs[x]) > 0 {
+			w.alias = append(w.alias, sampling.MustAlias(w.W[x]))
+		} else {
+			w.alias = append(w.alias, nil)
+		}
+	}
+	return w
+}
+
+func sortNbrs(nbrs []int32, weights []float64) {
+	idx := make([]int, len(nbrs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return nbrs[idx[a]] < nbrs[idx[b]] })
+	n2 := make([]int32, len(nbrs))
+	w2 := make([]float64, len(weights))
+	for i, p := range idx {
+		n2[i] = nbrs[p]
+		w2[i] = weights[p]
+	}
+	copy(nbrs, n2)
+	copy(weights, w2)
+}
+
+// HasEdge reports whether y is a neighbor of x (binary search).
+func (g *Graph) HasEdge(x, y int32) bool {
+	nbrs := g.Nbrs[x]
+	i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= y })
+	return i < len(nbrs) && nbrs[i] == y
+}
+
+// Step samples a weighted uniform next hop from x (-1 for isolated x).
+func (g *Graph) Step(x int32, rng *rand.Rand) int32 {
+	return g.step(x, rng)
+}
+
+// step samples a weighted uniform next hop from x (-1 for isolated x).
+func (g *Graph) step(x int32, rng *rand.Rand) int32 {
+	a := g.alias[x]
+	if a == nil {
+		return -1
+	}
+	return g.Nbrs[x][a.Sample(rng)]
+}
+
+// Config controls walk generation.
+type Config struct {
+	// WalksPerNode and WalkLength follow the DeepWalk conventions
+	// (defaults 10 and 40).
+	WalksPerNode, WalkLength int
+	// P and Q are node2vec's return and in-out parameters; both 1 gives
+	// uniform (DeepWalk) walks.
+	P, Q float64
+	// Seed drives all walk randomness.
+	Seed uint64
+	// Deadline optionally bounds generation (cooperative; zero = none).
+	Deadline time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.WalksPerNode == 0 {
+		c.WalksPerNode = 10
+	}
+	if c.WalkLength == 0 {
+		c.WalkLength = 40
+	}
+	if c.P == 0 {
+		c.P = 1
+	}
+	if c.Q == 0 {
+		c.Q = 1
+	}
+	return c
+}
+
+// Generate produces WalksPerNode truncated random walks from every
+// non-isolated node. P=Q=1 walks are first-order; otherwise node2vec's
+// second-order bias is applied by rejection sampling (KnightKing-style),
+// which avoids the per-edge alias tables whose memory blows up on graphs
+// with hubs.
+func Generate(g *Graph, cfg Config) ([][]int32, error) {
+	cfg = cfg.withDefaults()
+	if cfg.P <= 0 || cfg.Q <= 0 {
+		return nil, fmt.Errorf("walk: P and Q must be positive, got %g, %g", cfg.P, cfg.Q)
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x452821e638d01377))
+	uniform := cfg.P == 1 && cfg.Q == 1
+	// Upper envelope for rejection sampling.
+	maxBias := max3(1/cfg.P, 1, 1/cfg.Q)
+	walks := make([][]int32, 0, g.N*cfg.WalksPerNode)
+	order := rng.Perm(g.N)
+	for w := 0; w < cfg.WalksPerNode; w++ {
+		if err := budget.Check(cfg.Deadline); err != nil {
+			return nil, fmt.Errorf("walk: %w", err)
+		}
+		for i, s := range order {
+			if i%1024 == 0 {
+				if err := budget.Check(cfg.Deadline); err != nil {
+					return nil, fmt.Errorf("walk: %w", err)
+				}
+			}
+			start := int32(s)
+			if g.alias[start] == nil {
+				continue
+			}
+			walk := make([]int32, 1, cfg.WalkLength)
+			walk[0] = start
+			for len(walk) < cfg.WalkLength {
+				cur := walk[len(walk)-1]
+				var next int32
+				if uniform || len(walk) == 1 {
+					next = g.step(cur, rng)
+				} else {
+					prev := walk[len(walk)-2]
+					next = g.biasedStep(prev, cur, cfg, maxBias, rng)
+				}
+				if next < 0 {
+					break
+				}
+				walk = append(walk, next)
+			}
+			walks = append(walks, walk)
+		}
+	}
+	return walks, nil
+}
+
+// biasedStep performs one node2vec transition from cur (having arrived
+// from prev) by rejection sampling against the weighted first-order
+// proposal.
+func (g *Graph) biasedStep(prev, cur int32, cfg Config, maxBias float64, rng *rand.Rand) int32 {
+	for tries := 0; tries < 100; tries++ {
+		cand := g.step(cur, rng)
+		if cand < 0 {
+			return -1
+		}
+		var bias float64
+		switch {
+		case cand == prev:
+			bias = 1 / cfg.P
+		case g.HasEdge(prev, cand):
+			bias = 1
+		default:
+			bias = 1 / cfg.Q
+		}
+		if rng.Float64()*maxBias <= bias {
+			return cand
+		}
+	}
+	// Pathological acceptance rate; fall back to the unbiased step so the
+	// walk still terminates.
+	return g.step(cur, rng)
+}
+
+func max3(a, b, c float64) float64 {
+	m := a
+	if b > m {
+		m = b
+	}
+	if c > m {
+		m = c
+	}
+	return m
+}

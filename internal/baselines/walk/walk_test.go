@@ -1,0 +1,162 @@
+package walk
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"gebe/internal/bigraph"
+)
+
+func pathGraph(t testing.TB) *bigraph.Graph {
+	// u0-v0, u1-v0, u1-v1, u2-v1: a path in the homogeneous view.
+	g, err := bigraph.New(3, 2, []bigraph.Edge{
+		{U: 0, V: 0, W: 1}, {U: 1, V: 0, W: 1}, {U: 1, V: 1, W: 1}, {U: 2, V: 1, W: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGraphAdjacency(t *testing.T) {
+	g := pathGraph(t)
+	wg := NewGraph(g)
+	if wg.N != 5 || wg.NU != 3 {
+		t.Fatalf("N=%d NU=%d", wg.N, wg.NU)
+	}
+	// u1 (id 1) connects to v0 (id 3) and v1 (id 4).
+	if len(wg.Nbrs[1]) != 2 || wg.Nbrs[1][0] != 3 || wg.Nbrs[1][1] != 4 {
+		t.Errorf("Nbrs[1]=%v", wg.Nbrs[1])
+	}
+	if !wg.HasEdge(1, 3) || wg.HasEdge(0, 4) || !wg.HasEdge(4, 2) {
+		t.Error("HasEdge wrong")
+	}
+}
+
+func TestStepStaysOnNeighbors(t *testing.T) {
+	g := pathGraph(t)
+	wg := NewGraph(g)
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 200; i++ {
+		next := wg.Step(1, rng)
+		if next != 3 && next != 4 {
+			t.Fatalf("Step(1) went to %d", next)
+		}
+	}
+}
+
+func TestStepIsolatedNode(t *testing.T) {
+	g, err := bigraph.New(2, 1, []bigraph.Edge{{U: 0, V: 0, W: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg := NewGraph(g)
+	rng := rand.New(rand.NewPCG(3, 4))
+	if wg.Step(1, rng) != -1 {
+		t.Error("isolated node should return -1")
+	}
+}
+
+// TestWalksAlternateSides: on a bipartite graph every walk must
+// alternate between U ids (< NU) and V ids (>= NU).
+func TestWalksAlternateSides(t *testing.T) {
+	g := pathGraph(t)
+	wg := NewGraph(g)
+	for _, cfg := range []Config{
+		{WalksPerNode: 3, WalkLength: 15, Seed: 5},
+		{WalksPerNode: 3, WalkLength: 15, P: 4, Q: 0.5, Seed: 5},
+	} {
+		walks, err := Generate(wg, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(walks) == 0 {
+			t.Fatal("no walks generated")
+		}
+		for _, w := range walks {
+			for i := 1; i < len(w); i++ {
+				aU := int(w[i-1]) < wg.NU
+				bU := int(w[i]) < wg.NU
+				if aU == bU {
+					t.Fatalf("walk %v does not alternate at %d", w, i)
+				}
+				if !wg.HasEdge(w[i-1], w[i]) {
+					t.Fatalf("walk %v uses a non-edge at %d", w, i)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	g := pathGraph(t)
+	wg := NewGraph(g)
+	if _, err := Generate(wg, Config{P: -1, Q: 1}); err == nil {
+		t.Error("negative P accepted")
+	}
+}
+
+func TestGenerateDeadline(t *testing.T) {
+	g := pathGraph(t)
+	wg := NewGraph(g)
+	_, err := Generate(wg, Config{Deadline: time.Now().Add(-time.Second)})
+	if err == nil {
+		t.Error("expired deadline ignored")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	g := pathGraph(t)
+	wg := NewGraph(g)
+	a, _ := Generate(wg, Config{WalksPerNode: 2, WalkLength: 10, Seed: 9})
+	b, _ := Generate(wg, Config{WalksPerNode: 2, WalkLength: 10, Seed: 9})
+	if len(a) != len(b) {
+		t.Fatal("walk counts differ")
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("walk %d lengths differ", i)
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("walks differ for equal seeds")
+			}
+		}
+	}
+}
+
+// Property: node2vec with P=Q=1 visits the same node set reachable by
+// uniform walks — every visited node is a valid id.
+func TestPropertyWalksInRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		nu := 2 + int(seed%8)
+		nv := 2 + int((seed/3)%8)
+		var edges []bigraph.Edge
+		for u := 0; u < nu; u++ {
+			edges = append(edges, bigraph.Edge{U: u, V: rng.IntN(nv), W: 1})
+		}
+		g, err := bigraph.New(nu, nv, edges)
+		if err != nil {
+			return false
+		}
+		wg := NewGraph(g)
+		walks, err := Generate(wg, Config{WalksPerNode: 1, WalkLength: 8, P: 2, Q: 0.5, Seed: seed})
+		if err != nil {
+			return false
+		}
+		for _, w := range walks {
+			for _, x := range w {
+				if x < 0 || int(x) >= wg.N {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

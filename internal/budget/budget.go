@@ -1,0 +1,28 @@
+// Package budget provides the cooperative time-budget primitive the
+// experiment harness uses to enforce its per-method cutoff (the scaled
+// analogue of the paper's three-day limit). Solvers check the deadline
+// at coarse granularity — per sweep, per epoch, per few thousand SGD
+// steps — and abort with ErrExceeded, so a timed-out method stops
+// consuming the machine instead of lingering as an abandoned goroutine.
+package budget
+
+import (
+	"errors"
+	"time"
+)
+
+// ErrExceeded is returned by trainers that run past their deadline.
+var ErrExceeded = errors.New("time budget exceeded")
+
+// Exceeded reports whether the deadline is set and has passed.
+func Exceeded(deadline time.Time) bool {
+	return !deadline.IsZero() && time.Now().After(deadline)
+}
+
+// Check returns ErrExceeded when the deadline has passed, nil otherwise.
+func Check(deadline time.Time) error {
+	if Exceeded(deadline) {
+		return ErrExceeded
+	}
+	return nil
+}

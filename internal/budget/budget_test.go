@@ -1,0 +1,36 @@
+package budget
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestZeroDeadlineNeverFires(t *testing.T) {
+	if Exceeded(time.Time{}) {
+		t.Error("zero deadline reported exceeded")
+	}
+	if err := Check(time.Time{}); err != nil {
+		t.Errorf("Check(zero) = %v", err)
+	}
+}
+
+func TestPastDeadlineFires(t *testing.T) {
+	past := time.Now().Add(-time.Millisecond)
+	if !Exceeded(past) {
+		t.Error("past deadline not exceeded")
+	}
+	if err := Check(past); !errors.Is(err, ErrExceeded) {
+		t.Errorf("Check(past) = %v", err)
+	}
+}
+
+func TestFutureDeadlineDoesNotFire(t *testing.T) {
+	future := time.Now().Add(time.Hour)
+	if Exceeded(future) {
+		t.Error("future deadline exceeded")
+	}
+	if err := Check(future); err != nil {
+		t.Errorf("Check(future) = %v", err)
+	}
+}

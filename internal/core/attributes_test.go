@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"gebe/internal/bigraph"
+	"gebe/internal/dense"
+	"gebe/internal/linalg"
+)
+
+func TestAttributedEmbedShapes(t *testing.T) {
+	g := randomBipartite(t, 20, 15, 80, false, 201)
+	attrs := Attributes{
+		UAttrs: dense.Random(20, 12, linalg.NewRand(1)),
+		VAttrs: dense.Random(15, 7, linalg.NewRand(2)),
+	}
+	emb, err := AttributedEmbed(g, attrs, AttributedOptions{
+		Options: Options{K: 8, Seed: 3}, AttrDim: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emb.U.Cols != 8 || emb.V.Cols != 8 {
+		t.Fatalf("K=%d/%d want 8", emb.U.Cols, emb.V.Cols)
+	}
+	if emb.Method != "gebep+attrs" {
+		t.Errorf("method %q", emb.Method)
+	}
+	for _, x := range emb.U.Data {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Fatal("non-finite entry")
+		}
+	}
+}
+
+func TestAttributedEmbedNilAttrsZeroPadded(t *testing.T) {
+	g := randomBipartite(t, 15, 10, 60, false, 203)
+	emb, err := AttributedEmbed(g, Attributes{}, AttributedOptions{
+		Options: Options{K: 6, Seed: 1}, AttrDim: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The attribute columns must be exactly zero on both sides.
+	for i := 0; i < emb.U.Rows; i++ {
+		row := emb.U.Row(i)
+		if row[4] != 0 || row[5] != 0 {
+			t.Fatalf("U row %d attribute columns not zero: %v", i, row)
+		}
+	}
+}
+
+func TestAttributedEmbedValidation(t *testing.T) {
+	g := randomBipartite(t, 10, 8, 40, false, 205)
+	if _, err := AttributedEmbed(g, Attributes{}, AttributedOptions{
+		Options: Options{K: 4, Seed: 1}, AttrDim: 4,
+	}); err == nil {
+		t.Error("AttrDim == K accepted")
+	}
+	bad := Attributes{UAttrs: dense.New(3, 2)} // wrong row count
+	if _, err := AttributedEmbed(g, bad, AttributedOptions{
+		Options: Options{K: 4, Seed: 1},
+	}); err == nil {
+		t.Error("mismatched attribute rows accepted")
+	}
+}
+
+// TestAttributesHelpWhenStructureIsSparse: plant attributes perfectly
+// aligned with the latent blocks; on a very sparse graph, attribute-
+// augmented embeddings should separate blocks better than structure-only.
+func TestAttributesHelpWhenStructureIsSparse(t *testing.T) {
+	// Two blocks of users; each user has only ONE structural edge, so
+	// structure barely identifies blocks.
+	const nu, nv = 40, 10
+	var edges []bigraph.Edge
+	for u := 0; u < nu; u++ {
+		block := u / (nu / 2)
+		edges = append(edges, bigraph.Edge{U: u, V: block*(nv/2) + u%(nv/2), W: 1})
+	}
+	g, err := bigraph.New(nu, nv, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attributes: block indicator + noise.
+	rng := linalg.NewRand(7)
+	uAttrs := dense.New(nu, 6)
+	for u := 0; u < nu; u++ {
+		uAttrs.Set(u, u/(nu/2), 5)
+		for j := 2; j < 6; j++ {
+			uAttrs.Set(u, j, rng.NormFloat64())
+		}
+	}
+	plain, err := GEBEP(g, Options{K: 6, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aug, err := AttributedEmbed(g, Attributes{UAttrs: uAttrs}, AttributedOptions{
+		Options: Options{K: 6, Seed: 9}, AttrDim: 2, AttrWeight: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sep := blockSeparation(aug.U, nu/2); sep <= blockSeparation(plain.U, nu/2) {
+		t.Errorf("attributes did not improve block separation: aug=%.3f plain=%.3f",
+			sep, blockSeparation(plain.U, nu/2))
+	}
+}
+
+// blockSeparation returns mean within-block cosine minus mean
+// across-block cosine over a sample of pairs.
+func blockSeparation(u *dense.Matrix, blockSize int) float64 {
+	cosine := func(a, b []float64) float64 {
+		na, nb := dense.Norm2(a), dense.Norm2(b)
+		if na == 0 || nb == 0 {
+			return 0
+		}
+		return dense.Dot(a, b) / (na * nb)
+	}
+	var within, across float64
+	var nw, na int
+	for i := 0; i < u.Rows; i++ {
+		for j := i + 1; j < u.Rows; j += 3 {
+			c := cosine(u.Row(i), u.Row(j))
+			if i/blockSize == j/blockSize {
+				within += c
+				nw++
+			} else {
+				across += c
+				na++
+			}
+		}
+	}
+	return within/float64(nw) - across/float64(na)
+}

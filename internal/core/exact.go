@@ -1,0 +1,29 @@
+package core
+
+import (
+	"gebe/internal/bigraph"
+	"gebe/internal/dense"
+)
+
+// ExactEmbedding computes the reference solution U* = Z_k√Λ_k,
+// V* = WᵀU* of Eq. (13) by materializing H densely and running the exact
+// Jacobi eigensolver. Quadratic in |U| — used by tests and by the tiny
+// graphs of the paper's running example to validate the fast solvers.
+func ExactEmbedding(g *bigraph.Graph, opt Options) (*Embedding, error) {
+	opt = opt.withDefaults()
+	if err := opt.validate(g, false); err != nil {
+		return nil, err
+	}
+	w, sigma := scaledWeightMatrix(g, opt)
+	h := ExactH(w, opt.PMF, opt.Tau)
+	vals, vecs := dense.SymEig(h)
+	zk := vecs.SliceCols(0, opt.K)
+	u, v := embedFromEigen(w, zk, vals[:opt.K], opt.Threads)
+	return &Embedding{
+		U: u, V: v,
+		Values:     vals[:opt.K],
+		Method:     "exact-" + opt.PMF.Name(),
+		Converged:  true,
+		SigmaScale: sigma,
+	}, nil
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+
+	"gebe/internal/bigraph"
+	"gebe/internal/budget"
+	"gebe/internal/dense"
+	"gebe/internal/linalg"
+	"gebe/internal/pmf"
+	"gebe/internal/sparse"
+)
+
+// hOperator applies H = Σ_{ℓ=0}^{τ} ω(ℓ)·(WWᵀ)^ℓ to a dense block without
+// materializing H — Lines 3–6 of Algorithm 1, including the critical
+// re-association W·(WᵀQ) that turns an O(|E|·|U|) product into O(|E|·k).
+type hOperator struct {
+	w       *sparse.CSR
+	omega   pmf.PMF
+	tau     int
+	threads int
+}
+
+func (o hOperator) Dim() int { return o.w.Rows }
+
+func (o hOperator) Apply(z *dense.Matrix) *dense.Matrix {
+	q := z.Clone()
+	q.Scale(o.omega.Weight(0))
+	ql := z
+	for ell := 1; ell <= o.tau; ell++ {
+		ql = o.w.MulDense(o.w.TMulDense(ql, o.threads), o.threads)
+		if wl := o.omega.Weight(ell); wl != 0 {
+			q.AddScaled(wl, ql)
+		}
+	}
+	return q
+}
+
+// scaledWeightMatrix builds W and applies the spectral scaling W/σ₁
+// unless disabled, returning the matrix and the scale used.
+func scaledWeightMatrix(g *bigraph.Graph, opt Options) (*sparse.CSR, float64) {
+	w := WeightMatrix(g)
+	if opt.NoScale {
+		return w, 1
+	}
+	sigma := linalg.TopSingularValue(w, 0, opt.Seed^0x5ca1ab1e, opt.Threads)
+	if sigma <= 0 {
+		return w, 1
+	}
+	return w.Scaled(1 / sigma), sigma
+}
+
+// GEBE computes bipartite network embeddings with Algorithm 1 of the
+// paper: Krylov subspace iteration over the implicit multi-hop matrix H
+// instantiated by opt.PMF, followed by U = Z√Λ and V = WᵀU (Eq. (13)).
+//
+// Time complexity is O(k·t·τ·|E| + k²·t·|U|); space is
+// O((|U|+|V|)·k + |E|).
+func GEBE(g *bigraph.Graph, opt Options) (*Embedding, error) {
+	opt = opt.withDefaults()
+	if err := opt.validate(g, false); err != nil {
+		return nil, err
+	}
+	w, sigma := scaledWeightMatrix(g, opt)
+	op := hOperator{w: w, omega: opt.PMF, tau: opt.Tau, threads: opt.Threads}
+	res := linalg.KSIDeadline(op, opt.K, opt.Iters, opt.Tol, opt.Seed, opt.Deadline)
+	if res.DeadlineHit {
+		return nil, fmt.Errorf("core: GEBE: %w", budget.ErrExceeded)
+	}
+	u, v := embedFromEigen(w, res.Vectors, res.Values, opt.Threads)
+	return &Embedding{
+		U: u, V: v,
+		Values:     res.Values,
+		Method:     "gebe-" + opt.PMF.Name(),
+		Sweeps:     res.Sweeps,
+		Converged:  res.Converged,
+		SigmaScale: sigma,
+	}, nil
+}
+
+// embedFromEigen realizes Eq. (13): U = Z·√Λ, V = Wᵀ·U. Tiny negative
+// eigenvalue estimates (QR round-off on a PSD operator) are clamped.
+func embedFromEigen(w *sparse.CSR, z *dense.Matrix, vals []float64, threads int) (u, v *dense.Matrix) {
+	scales := make([]float64, len(vals))
+	for i, lam := range vals {
+		if lam < 0 {
+			lam = 0
+		}
+		scales[i] = sqrtf(lam)
+	}
+	u = z.Clone()
+	u.ScaleCols(scales)
+	v = w.TMulDense(u, threads)
+	return u, v
+}

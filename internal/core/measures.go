@@ -1,0 +1,88 @@
+// Package core implements the paper's contribution: the multi-hop
+// homogeneous similarity (MHS) and multi-hop heterogeneous proximity
+// (MHP) measures, the unified BNE objective, the generic GEBE solver
+// (Algorithm 1), the Poisson-specialized GEBE^p solver (Algorithm 2), and
+// the MHP-only / MHS-only ablation baselines from §6.1.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"gebe/internal/bigraph"
+	"gebe/internal/dense"
+	"gebe/internal/pmf"
+	"gebe/internal/sparse"
+)
+
+// WeightMatrix builds the |U|×|V| sparse edge weight matrix W of the
+// graph. Parallel edges are summed.
+func WeightMatrix(g *bigraph.Graph) *sparse.CSR {
+	entries := make([]sparse.Entry, len(g.Edges))
+	for i, e := range g.Edges {
+		entries[i] = sparse.Entry{Row: e.U, Col: e.V, Val: e.W}
+	}
+	w, err := sparse.New(g.NU, g.NV, entries)
+	if err != nil {
+		// New validated the same invariants bigraph.New enforces; reaching
+		// here means the Graph was built without its constructor.
+		panic(fmt.Sprintf("core: invalid graph: %v", err))
+	}
+	return w
+}
+
+// ExactH materializes H = Σ_{ℓ=0}^{τ} ω(ℓ)·(WWᵀ)^ℓ densely (Eq. (3)).
+// Exponential in neither time nor space but quadratic in |U| — strictly a
+// small-graph reference for tests and the paper's running example.
+func ExactH(w *sparse.CSR, omega pmf.PMF, tau int) *dense.Matrix {
+	if tau < 0 {
+		panic("core: ExactH requires tau >= 0")
+	}
+	n := w.Rows
+	h := dense.New(n, n)
+	// term starts as I (ℓ = 0) and is multiplied by WWᵀ each hop.
+	term := dense.Identity(n)
+	h.AddScaled(omega.Weight(0), term)
+	for ell := 1; ell <= tau; ell++ {
+		term = w.MulDense(w.TMulDense(term, 1), 1)
+		h.AddScaled(omega.Weight(ell), term)
+	}
+	return h
+}
+
+// ExactHV is ExactH on the V side: Σ ω(ℓ)·(WᵀW)^ℓ.
+func ExactHV(w *sparse.CSR, omega pmf.PMF, tau int) *dense.Matrix {
+	return ExactH(w.T(), omega, tau)
+}
+
+// MHSFromH converts a materialized H into the MHS matrix of Eq. (4):
+// s(u_i,u_l) = H[u_i,u_l] / √(H[u_i,u_i]·H[u_l,u_l]). Diagonal entries of
+// H are strictly positive whenever ω(0) > 0; zero diagonals (possible
+// under PMFs with ω(0)=0 for isolated nodes) yield s=0 off-diagonal and
+// s=1 on the diagonal, matching Lemma 2.1's conventions.
+func MHSFromH(h *dense.Matrix) *dense.Matrix {
+	n := h.Rows
+	s := dense.New(n, n)
+	for i := 0; i < n; i++ {
+		hii := h.At(i, i)
+		for l := 0; l < n; l++ {
+			if i == l {
+				s.Set(i, l, 1)
+				continue
+			}
+			hll := h.At(l, l)
+			if hii <= 0 || hll <= 0 {
+				continue
+			}
+			s.Set(i, l, h.At(i, l)/math.Sqrt(hii*hll))
+		}
+	}
+	return s
+}
+
+// ExactMHP materializes the MHP matrix P = H·W of Eq. (5) densely.
+func ExactMHP(w *sparse.CSR, omega pmf.PMF, tau int) *dense.Matrix {
+	h := ExactH(w, omega, tau)
+	// P = H·W: compute via (Wᵀ·Hᵀ)ᵀ = (Wᵀ·H)ᵀ since H is symmetric.
+	return w.TMulDense(h, 1).T()
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math"
+
+	"gebe/internal/bigraph"
+	"gebe/internal/dense"
+	"gebe/internal/pmf"
+)
+
+// Loss evaluates the unified BNE objective L(U,V) of Eq. (9) exactly,
+// materializing the MHP matrix P and the MHS matrix S densely. Quadratic
+// in |U| and |U|·|V| — a test-scale diagnostic, not a training device
+// (GEBE never materializes these matrices; that is the point of §3).
+//
+// The MHS term uses the algebraic identity ‖û_i−û_l‖² = 2−2·cos(u_i,u_l),
+// so each summand is (2·s(u_i,u_l) − 2·cos(u_i,u_l))².
+func Loss(g *bigraph.Graph, u, v *dense.Matrix, omega pmf.PMF, tau int) float64 {
+	w := WeightMatrix(g)
+	h := ExactH(w, omega, tau)
+	s := MHSFromH(h)
+	p := w.TMulDense(h, 1).T() // P = H·W
+
+	nu, nv := g.NU, g.NV
+	var lossP float64
+	for i := 0; i < nu; i++ {
+		ui := u.Row(i)
+		for j := 0; j < nv; j++ {
+			d := dense.Dot(ui, v.Row(j)) - p.At(i, j)
+			lossP += d * d
+		}
+	}
+	lossP /= float64(nu) * float64(nv)
+
+	// Pre-normalize U's rows once.
+	norms := make([]float64, nu)
+	for i := 0; i < nu; i++ {
+		norms[i] = dense.Norm2(u.Row(i))
+	}
+	var lossS float64
+	for i := 0; i < nu; i++ {
+		for l := 0; l < nu; l++ {
+			var cos float64
+			if norms[i] > 0 && norms[l] > 0 {
+				cos = dense.Dot(u.Row(i), u.Row(l)) / (norms[i] * norms[l])
+			}
+			d := 2*cos - 2*s.At(i, l)
+			lossS += d * d
+		}
+	}
+	lossS /= float64(nu) * float64(nu)
+	return lossP + lossS
+}
+
+// VSideMHSDeviation measures how far the v-side identity of Lemma 2.2 is
+// from holding: it returns the maximum over v-pairs of
+// |½‖v̂_j−v̂_h‖² − (1 − s(v_j,v_h))|, which is zero when L(U,V)=0.
+//
+// Note on the reference matrix: the lemma as printed defines s on the V
+// side with weights Σ_{ℓ=1}^{τ} ω(ℓ)(WᵀW)^ℓ, but the identity that its
+// own proof derives is the index-shifted Wᵀ·H·W = Σ_{ℓ=0}^{τ}
+// ω(ℓ)(WᵀW)^{ℓ+1} (the two coincide after normalization only for the
+// Geometric PMF, whose weights are proportional under a shift). We verify
+// the proof's version.
+func VSideMHSDeviation(g *bigraph.Graph, v *dense.Matrix, omega pmf.PMF, tau int) float64 {
+	w := WeightMatrix(g)
+	h := ExactH(w, omega, tau)
+	hw := w.TMulDense(h, 1).T() // H·W as |U|×|V|
+	hv := w.TMulDense(hw, 1)    // Wᵀ·H·W, |V|×|V|
+	sv := MHSFromH(hv)
+
+	norms := make([]float64, g.NV)
+	for j := 0; j < g.NV; j++ {
+		norms[j] = dense.Norm2(v.Row(j))
+	}
+	var worst float64
+	for j := 0; j < g.NV; j++ {
+		for h := 0; h < g.NV; h++ {
+			if norms[j] == 0 || norms[h] == 0 {
+				continue
+			}
+			cos := dense.Dot(v.Row(j), v.Row(h)) / (norms[j] * norms[h])
+			// ½‖v̂_j−v̂_h‖² = 1 − cos.
+			dev := math.Abs((1 - cos) - (1 - sv.At(j, h)))
+			if dev > worst {
+				worst = dev
+			}
+		}
+	}
+	return worst
+}

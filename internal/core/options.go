@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"gebe/internal/bigraph"
+	"gebe/internal/dense"
+	"gebe/internal/pmf"
+)
+
+// Options configures the GEBE family of solvers. The zero value is not
+// usable — K must be positive; every other field has a paper-default
+// filled in by withDefaults.
+type Options struct {
+	// K is the embedding dimensionality (the paper uses 128).
+	K int
+	// PMF selects the GEBE instantiation (§2.4). Default: Poisson(λ=1),
+	// the configuration the paper found strongest.
+	PMF pmf.PMF
+	// Tau is the maximum path half-length for GEBE's truncated H
+	// (default 20, the paper's practical setting).
+	Tau int
+	// Iters is the KSI sweep budget t (default 200).
+	Iters int
+	// Tol is the KSI subspace-convergence tolerance (default 1e-7).
+	Tol float64
+	// Lambda is the Poisson rate for GEBE^p (default 1).
+	Lambda float64
+	// Epsilon is the randomized-SVD error threshold for GEBE^p
+	// (default 0.1).
+	Epsilon float64
+	// Seed drives every random choice; equal seeds give equal outputs.
+	Seed uint64
+	// Threads caps SpMM parallelism. Default 1, matching the paper's
+	// single-thread evaluation protocol.
+	Threads int
+	// Deadline optionally bounds solver runtime (cooperative, checked per
+	// KSI sweep); a zero value means no limit. Solvers that hit it return
+	// budget.ErrExceeded, mirroring the paper's hard cutoff protocol.
+	Deadline time.Time
+	// NoScale disables the spectral scaling of W (division by σ₁). The
+	// scaling keeps e^{λσ²} finite for arbitrarily weighted graphs (see
+	// DESIGN.md §3.5); turn it off only for tiny hand-built graphs such as
+	// the paper's running example.
+	NoScale bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.PMF == nil {
+		o.PMF = pmf.NewPoisson(1)
+	}
+	if o.Tau == 0 {
+		o.Tau = 20
+	}
+	if o.Iters == 0 {
+		o.Iters = 200
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-7
+	}
+	if o.Lambda == 0 {
+		o.Lambda = 1
+	}
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.1
+	}
+	if o.Threads == 0 {
+		o.Threads = 1
+	}
+	return o
+}
+
+func (o Options) validate(g *bigraph.Graph, needBothSides bool) error {
+	if o.K <= 0 {
+		return fmt.Errorf("core: embedding dimensionality K must be positive, got %d", o.K)
+	}
+	if g.NumEdges() == 0 {
+		return fmt.Errorf("core: graph has no edges")
+	}
+	if o.K > g.NU {
+		return fmt.Errorf("core: K=%d exceeds |U|=%d", o.K, g.NU)
+	}
+	if needBothSides && o.K > g.NV {
+		return fmt.Errorf("core: K=%d exceeds |V|=%d (GEBE^p factorizes W and needs K <= min(|U|,|V|))", o.K, g.NV)
+	}
+	if o.Tau < 0 {
+		return fmt.Errorf("core: Tau must be non-negative, got %d", o.Tau)
+	}
+	if o.Lambda < 0 {
+		return fmt.Errorf("core: Lambda must be positive, got %g", o.Lambda)
+	}
+	if o.Epsilon < 0 || o.Epsilon >= 1 {
+		return fmt.Errorf("core: Epsilon must lie in (0,1), got %g", o.Epsilon)
+	}
+	return nil
+}
+
+// Embedding is the output of a BNE solver: one k-dimensional vector per
+// node on each side, plus solver diagnostics.
+type Embedding struct {
+	// U and V hold the embedding vectors row-wise: U is |U|×k, V is |V|×k.
+	U, V *dense.Matrix
+	// Values holds the top-k eigenvalue estimates of (scaled) H.
+	Values []float64
+	// Method identifies the solver ("gebe-poisson", "gebep", ...).
+	Method string
+	// Sweeps is the number of KSI sweeps used (0 for GEBE^p).
+	Sweeps int
+	// Converged reports KSI convergence (always true for GEBE^p).
+	Converged bool
+	// SigmaScale is the σ₁ estimate W was divided by (1 when unscaled).
+	SigmaScale float64
+}
+
+// K returns the embedding dimensionality.
+func (e *Embedding) K() int { return e.U.Cols }
+
+// Score returns the association strength U[u]·V[v] used for ranking in
+// downstream tasks (§2.5).
+func (e *Embedding) Score(u, v int) float64 {
+	return dense.Dot(e.U.Row(u), e.V.Row(v))
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"gebe/internal/pmf"
+)
+
+// TestQueriesMatchDenseReference: point queries must agree with the
+// materialized H / P matrices entry for entry.
+func TestQueriesMatchDenseReference(t *testing.T) {
+	g := randomBipartite(t, 12, 9, 50, true, 101)
+	om := pmf.NewPoisson(1)
+	const tau = 8
+	w := WeightMatrix(g)
+	h := ExactH(w, om, tau)
+	s := MHSFromH(h)
+	p := ExactMHP(w, om, tau)
+	for i := 0; i < g.NU; i++ {
+		for l := 0; l < g.NU; l++ {
+			got, err := MHSQuery(g, om, tau, i, l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-s.At(i, l)) > 1e-10 {
+				t.Fatalf("MHSQuery(%d,%d)=%v dense %v", i, l, got, s.At(i, l))
+			}
+		}
+		for j := 0; j < g.NV; j++ {
+			got, err := MHPQuery(g, om, tau, i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-p.At(i, j)) > 1e-10 {
+				t.Fatalf("MHPQuery(%d,%d)=%v dense %v", i, j, got, p.At(i, j))
+			}
+		}
+	}
+}
+
+func TestMHSQueryVMatchesDense(t *testing.T) {
+	g := randomBipartite(t, 10, 8, 40, false, 103)
+	om := pmf.NewGeometric(0.4)
+	const tau = 6
+	sv := MHSFromH(ExactHV(WeightMatrix(g), om, tau))
+	for j := 0; j < g.NV; j++ {
+		for h := 0; h < g.NV; h++ {
+			got, err := MHSQueryV(g, om, tau, j, h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-sv.At(j, h)) > 1e-10 {
+				t.Fatalf("MHSQueryV(%d,%d)=%v dense %v", j, h, got, sv.At(j, h))
+			}
+		}
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	g := figure1Graph(t)
+	om := pmf.NewPoisson(1)
+	if _, err := MHSQuery(g, om, 5, -1, 0); err == nil {
+		t.Error("negative index accepted")
+	}
+	if _, err := MHSQuery(g, om, 5, 0, 99); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if _, err := MHPQuery(g, om, 5, 0, 99); err == nil {
+		t.Error("out-of-range v index accepted")
+	}
+	if _, err := MHSQueryV(g, om, 5, 99, 0); err == nil {
+		t.Error("out-of-range v pair accepted")
+	}
+	if _, _, err := TopSimilar(g, om, 5, 99, 3); err == nil {
+		t.Error("out-of-range TopSimilar index accepted")
+	}
+}
+
+// TestTopSimilarRunningExample: on the Figure 1 graph, u1's most similar
+// node must be u2 (they share all neighbors).
+func TestTopSimilarRunningExample(t *testing.T) {
+	g := figure1Graph(t)
+	ids, sims, err := TopSimilar(g, pmf.NewPoisson(2), 60, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) == 0 || ids[0] != 1 {
+		t.Fatalf("TopSimilar(u1) = %v (sims %v), want u2 first", ids, sims)
+	}
+	for x := 1; x < len(sims); x++ {
+		if sims[x] > sims[x-1] {
+			t.Error("similarities not descending")
+		}
+	}
+}
+
+func TestMHSQuerySelfIsOne(t *testing.T) {
+	g := figure1Graph(t)
+	got, err := MHSQuery(g, pmf.NewUniform(5), 5, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("s(u,u)=%v want 1", got)
+	}
+}

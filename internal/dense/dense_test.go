@@ -1,0 +1,329 @@
+package dense
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func rng(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)) }
+
+func TestNewZeroed(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("bad shape: %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	for i, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("entry %d not zero: %v", i, v)
+		}
+	}
+}
+
+func TestFromRowsAndAt(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	want := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	for i := range want {
+		for j := range want[i] {
+			if m.At(i, j) != want[i][j] {
+				t.Errorf("At(%d,%d)=%v want %v", i, j, m.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	m := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range index")
+		}
+	}()
+	m.At(2, 0)
+}
+
+func TestIdentityMul(t *testing.T) {
+	a := Random(4, 4, rng(1))
+	i4 := Identity(4)
+	if !Equal(Mul(a, i4), a, 1e-14) {
+		t.Error("A*I != A")
+	}
+	if !Equal(Mul(i4, a), a, 1e-14) {
+		t.Error("I*A != A")
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	b := FromRows([][]float64{{7, 8}, {9, 10}, {11, 12}})
+	got := Mul(a, b)
+	want := FromRows([][]float64{{58, 64}, {139, 154}})
+	if !Equal(got, want, 1e-14) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Mul(New(2, 3), New(2, 3))
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	a := Random(5, 3, rng(2))
+	if !Equal(a.T().T(), a, 0) {
+		t.Error("(Aᵀ)ᵀ != A")
+	}
+}
+
+func TestMulTAndTMulAgainstExplicit(t *testing.T) {
+	r := rng(3)
+	a := Random(4, 6, r)
+	b := Random(5, 6, r)
+	if !Equal(MulT(a, b), Mul(a, b.T()), 1e-12) {
+		t.Error("MulT(a,b) != a*bᵀ")
+	}
+	c := Random(4, 3, r)
+	if !Equal(TMul(a, c), Mul(a.T(), c), 1e-12) {
+		t.Error("TMul(a,c) != aᵀ*c")
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	r := rng(4)
+	a := Random(3, 3, r)
+	b := Random(3, 3, r)
+	if !Equal(Sub(Add(a, b), b), a, 1e-12) {
+		t.Error("(a+b)-b != a")
+	}
+	c := a.Clone()
+	c.Scale(2)
+	if !Equal(c, Add(a, a), 1e-12) {
+		t.Error("2a != a+a")
+	}
+	d := a.Clone()
+	d.AddScaled(-1, a)
+	if d.MaxAbs() > 1e-15 {
+		t.Error("a + (-1)a != 0")
+	}
+}
+
+func TestScaleCols(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	a.ScaleCols([]float64{10, 100})
+	want := FromRows([][]float64{{10, 200}, {30, 400}})
+	if !Equal(a, want, 0) {
+		t.Errorf("got %v want %v", a, want)
+	}
+}
+
+func TestDotNorm(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Errorf("Dot=%v want 32", got)
+	}
+	if got := Norm2([]float64{3, 4}); got != 5 {
+		t.Errorf("Norm2=%v want 5", got)
+	}
+}
+
+func TestColAndSliceCols(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	col := a.Col(1)
+	if col[0] != 2 || col[1] != 5 {
+		t.Errorf("Col(1)=%v", col)
+	}
+	s := a.SliceCols(1, 3)
+	want := FromRows([][]float64{{2, 3}, {5, 6}})
+	if !Equal(s, want, 0) {
+		t.Errorf("SliceCols got %v want %v", s, want)
+	}
+}
+
+// ---- QR ----
+
+func TestQRIdentities(t *testing.T) {
+	for _, shape := range [][2]int{{4, 4}, {8, 3}, {20, 7}, {50, 1}, {5, 5}} {
+		m, n := shape[0], shape[1]
+		a := Random(m, n, rng(uint64(m*100+n)))
+		q, r := QR(a)
+		if q.Rows != m || q.Cols != n || r.Rows != n || r.Cols != n {
+			t.Fatalf("QR shape wrong for %dx%d", m, n)
+		}
+		// QᵀQ = I
+		qtq := TMul(q, q)
+		if !Equal(qtq, Identity(n), 1e-10) {
+			t.Errorf("%dx%d: QᵀQ != I (max dev %g)", m, n, Sub(qtq, Identity(n)).MaxAbs())
+		}
+		// A = QR
+		if !Equal(Mul(q, r), a, 1e-10) {
+			t.Errorf("%dx%d: QR != A", m, n)
+		}
+		// R upper-triangular
+		for i := 1; i < n; i++ {
+			for j := 0; j < i; j++ {
+				if math.Abs(r.At(i, j)) > 1e-12 {
+					t.Errorf("R[%d,%d]=%g not zero", i, j, r.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestQRRankDeficient(t *testing.T) {
+	// Two identical columns: QR must still produce finite output with A=QR.
+	a := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	q, r := QR(a)
+	if !Equal(Mul(q, r), a, 1e-12) {
+		t.Error("QR != A for rank-deficient input")
+	}
+	for _, v := range q.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("non-finite entry in Q")
+		}
+	}
+}
+
+func TestQRZeroMatrix(t *testing.T) {
+	a := New(4, 2)
+	q, r := QR(a)
+	if !Equal(Mul(q, r), a, 1e-14) {
+		t.Error("QR != 0 for zero input")
+	}
+}
+
+func TestQRPropertyBased(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng(seed)
+		m := 2 + int(seed%20)
+		n := 1 + int(seed%uint64(m))
+		a := Random(m, n, r)
+		q, rr := QR(a)
+		return Equal(TMul(q, q), Identity(n), 1e-9) && Equal(Mul(q, rr), a, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// ---- SymEig / SVD ----
+
+func TestSymEigKnown(t *testing.T) {
+	// Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+	a := FromRows([][]float64{{2, 1}, {1, 2}})
+	vals, vecs := SymEig(a)
+	if math.Abs(vals[0]-3) > 1e-12 || math.Abs(vals[1]-1) > 1e-12 {
+		t.Errorf("vals=%v want [3 1]", vals)
+	}
+	// Check A v = λ v for each.
+	for j := 0; j < 2; j++ {
+		v := vecs.Col(j)
+		av := Mul(a, FromRows([][]float64{{v[0]}, {v[1]}}))
+		for i := 0; i < 2; i++ {
+			if math.Abs(av.At(i, 0)-vals[j]*v[i]) > 1e-12 {
+				t.Errorf("eigenpair %d residual too large", j)
+			}
+		}
+	}
+}
+
+func TestSymEigResidualAndOrthogonality(t *testing.T) {
+	r := rng(7)
+	for _, n := range []int{1, 2, 5, 12, 30} {
+		b := Random(n, n, r)
+		a := Add(b, b.T()) // symmetric
+		vals, vecs := SymEig(a)
+		// VᵀV = I
+		if !Equal(TMul(vecs, vecs), Identity(n), 1e-9) {
+			t.Errorf("n=%d: eigenvectors not orthonormal", n)
+		}
+		// AV = VΛ
+		av := Mul(a, vecs)
+		vl := vecs.Clone()
+		vl.ScaleCols(vals)
+		if !Equal(av, vl, 1e-8) {
+			t.Errorf("n=%d: AV != VΛ (max dev %g)", n, Sub(av, vl).MaxAbs())
+		}
+		// Descending order.
+		for i := 1; i < n; i++ {
+			if vals[i] > vals[i-1]+1e-12 {
+				t.Errorf("n=%d: eigenvalues not descending: %v", n, vals)
+			}
+		}
+	}
+}
+
+func TestSymEigTraceInvariant(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng(seed)
+		n := 2 + int(seed%10)
+		b := Random(n, n, r)
+		a := Add(b, b.T())
+		vals, _ := SymEig(a)
+		var trace, sum float64
+		for i := 0; i < n; i++ {
+			trace += a.At(i, i)
+		}
+		for _, v := range vals {
+			sum += v
+		}
+		return math.Abs(trace-sum) < 1e-8*(1+math.Abs(trace))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSVDReconstruction(t *testing.T) {
+	r := rng(11)
+	for _, shape := range [][2]int{{6, 4}, {4, 6}, {5, 5}, {10, 2}} {
+		m, n := shape[0], shape[1]
+		a := Random(m, n, r)
+		u, s, v := SVD(a)
+		// Rebuild A = U diag(s) Vᵀ.
+		us := u.Clone()
+		us.ScaleCols(s)
+		rec := MulT(us, v)
+		if !Equal(rec, a, 1e-8) {
+			t.Errorf("%dx%d: SVD reconstruction off by %g", m, n, Sub(rec, a).MaxAbs())
+		}
+		// Singular values non-negative, descending.
+		for i, sv := range s {
+			if sv < 0 {
+				t.Errorf("negative singular value %g", sv)
+			}
+			if i > 0 && sv > s[i-1]+1e-10 {
+				t.Errorf("singular values not sorted: %v", s)
+			}
+		}
+	}
+}
+
+func TestSVDSingularValuesKnown(t *testing.T) {
+	// diag(3,2) has singular values 3,2.
+	a := FromRows([][]float64{{3, 0}, {0, 2}})
+	_, s, _ := SVD(a)
+	if math.Abs(s[0]-3) > 1e-10 || math.Abs(s[1]-2) > 1e-10 {
+		t.Errorf("s=%v want [3 2]", s)
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(3, 3, rng(42))
+	b := Random(3, 3, rng(42))
+	if !Equal(a, b, 0) {
+		t.Error("Random not deterministic for equal seeds")
+	}
+}

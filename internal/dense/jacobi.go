@@ -1,0 +1,142 @@
+package dense
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SymEig computes the full eigendecomposition of a symmetric n-by-n matrix
+// using the cyclic Jacobi method. It returns the eigenvalues in descending
+// order and the matching eigenvectors as the columns of V, so that
+// A·V[:,i] = vals[i]·V[:,i] and VᵀV = I.
+//
+// Jacobi is quadratically convergent once the off-diagonal mass is small
+// and is more than fast enough for the small (k+p)·q sized matrices that
+// appear inside the randomized SVD; it is also used as the exact reference
+// solver in tests.
+func SymEig(a *Matrix) (vals []float64, vecs *Matrix) {
+	n := a.Rows
+	if a.Cols != n {
+		panic(fmt.Sprintf("dense: SymEig requires square matrix, got %dx%d", a.Rows, a.Cols))
+	}
+	w := a.Clone()
+	// Symmetrize defensively: callers sometimes hand us QᵀAQ computed in
+	// floating point, which is symmetric only to round-off.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			s := (w.Data[i*n+j] + w.Data[j*n+i]) / 2
+			w.Data[i*n+j] = s
+			w.Data[j*n+i] = s
+		}
+	}
+	v := Identity(n)
+	const maxSweeps = 60
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += w.Data[i*n+j] * w.Data[i*n+j]
+			}
+		}
+		if off < 1e-24*float64(n*n) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.Data[p*n+q]
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app := w.Data[p*n+p]
+				aqq := w.Data[q*n+q]
+				// Compute the rotation that annihilates w[p,q].
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				// Apply the rotation: W ← JᵀWJ, V ← VJ.
+				for i := 0; i < n; i++ {
+					wip := w.Data[i*n+p]
+					wiq := w.Data[i*n+q]
+					w.Data[i*n+p] = c*wip - s*wiq
+					w.Data[i*n+q] = s*wip + c*wiq
+				}
+				for j := 0; j < n; j++ {
+					wpj := w.Data[p*n+j]
+					wqj := w.Data[q*n+j]
+					w.Data[p*n+j] = c*wpj - s*wqj
+					w.Data[q*n+j] = s*wpj + c*wqj
+				}
+				for i := 0; i < n; i++ {
+					vip := v.Data[i*n+p]
+					viq := v.Data[i*n+q]
+					v.Data[i*n+p] = c*vip - s*viq
+					v.Data[i*n+q] = s*vip + c*viq
+				}
+			}
+		}
+	}
+	// Collect and sort eigenpairs by descending eigenvalue.
+	type pair struct {
+		val float64
+		idx int
+	}
+	pairs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = pair{w.Data[i*n+i], i}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].val > pairs[j].val })
+	vals = make([]float64, n)
+	vecs = New(n, n)
+	for out, p := range pairs {
+		vals[out] = p.val
+		for i := 0; i < n; i++ {
+			vecs.Data[i*n+out] = v.Data[i*n+p.idx]
+		}
+	}
+	return vals, vecs
+}
+
+// SVD computes the full singular value decomposition of a dense matrix A
+// (m-by-n): A = U·diag(s)·Vᵀ with singular values in descending order.
+// It works via the symmetric eigendecomposition of the smaller Gram
+// matrix, which is accurate enough for the test-reference role it plays
+// here (it loses half the digits for tiny singular values, which the
+// callers tolerate).
+func SVD(a *Matrix) (u *Matrix, s []float64, v *Matrix) {
+	m, n := a.Rows, a.Cols
+	if m >= n {
+		// Eigendecompose AᵀA (n-by-n).
+		g := TMul(a, a)
+		vals, vecs := SymEig(g)
+		s = make([]float64, n)
+		for i, lam := range vals {
+			if lam < 0 {
+				lam = 0
+			}
+			s[i] = math.Sqrt(lam)
+		}
+		v = vecs
+		// U = A V Σ⁻¹ (columns with zero σ are filled by orthonormal completion
+		// only if needed; downstream only uses columns with σ > 0).
+		u = Mul(a, v)
+		for j := 0; j < n; j++ {
+			if s[j] > 1e-12 {
+				inv := 1 / s[j]
+				for i := 0; i < m; i++ {
+					u.Data[i*n+j] *= inv
+				}
+			}
+		}
+		return u, s, v
+	}
+	// m < n: decompose the transpose and swap factors.
+	vT, s, uT := SVD(a.T())
+	return uT, s, vT
+}

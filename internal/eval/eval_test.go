@@ -1,0 +1,309 @@
+package eval
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"gebe/internal/bigraph"
+	"gebe/internal/dense"
+)
+
+func TestF1At(t *testing.T) {
+	truth := map[int]bool{1: true, 2: true, 3: true}
+	// rec hits 2 of 3 in top-3: P=2/3, R=2/3, F1=2/3.
+	if got := F1At([]int{1, 9, 2}, truth, 3); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("F1=%v want 2/3", got)
+	}
+	if F1At([]int{9, 8}, truth, 2) != 0 {
+		t.Error("no hits should be F1=0")
+	}
+	if F1At([]int{1}, map[int]bool{}, 1) != 0 {
+		t.Error("empty truth should be F1=0")
+	}
+	// Perfect: rec == truth.
+	if got := F1At([]int{1, 2, 3}, truth, 3); math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect F1=%v", got)
+	}
+}
+
+func TestNDCGAt(t *testing.T) {
+	truth := map[int]bool{5: true}
+	// Hit at rank 1: NDCG = 1.
+	if got := NDCGAt([]int{5, 1, 2}, truth, 3); math.Abs(got-1) > 1e-12 {
+		t.Errorf("NDCG=%v want 1", got)
+	}
+	// Hit at rank 3: DCG = 1/log2(4) = 0.5; IDCG = 1.
+	if got := NDCGAt([]int{1, 2, 5}, truth, 3); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("NDCG=%v want 0.5", got)
+	}
+}
+
+func TestMRRAt(t *testing.T) {
+	truth := map[int]bool{7: true, 9: true}
+	if got := MRRAt([]int{0, 7, 9}, truth, 3); got != 0.5 {
+		t.Errorf("MRR=%v want 0.5", got)
+	}
+	if MRRAt([]int{0, 1}, truth, 2) != 0 {
+		t.Error("no hit should be MRR=0")
+	}
+}
+
+func TestAUCROCPerfectAndRandom(t *testing.T) {
+	// Perfectly separated.
+	roc, err := AUCROC([]float64{0.9, 0.8, 0.2, 0.1}, []bool{true, true, false, false})
+	if err != nil || roc != 1 {
+		t.Errorf("perfect AUC=%v err=%v", roc, err)
+	}
+	// Perfectly inverted.
+	roc, _ = AUCROC([]float64{0.1, 0.2, 0.8, 0.9}, []bool{true, true, false, false})
+	if roc != 0 {
+		t.Errorf("inverted AUC=%v want 0", roc)
+	}
+	// All-equal scores: AUC = 0.5 via tie handling.
+	roc, _ = AUCROC([]float64{0.5, 0.5, 0.5, 0.5}, []bool{true, false, true, false})
+	if math.Abs(roc-0.5) > 1e-12 {
+		t.Errorf("tied AUC=%v want 0.5", roc)
+	}
+	if _, err := AUCROC([]float64{1, 2}, []bool{true, true}); err == nil {
+		t.Error("single-class input accepted")
+	}
+	if _, err := AUCROC([]float64{1}, []bool{true, false}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestAUCPRKnown(t *testing.T) {
+	// Scores rank: pos, neg, pos. AP = (1/1 + 2/3)/2 = 5/6.
+	pr, err := AUCPR([]float64{0.9, 0.8, 0.7}, []bool{true, false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pr-5.0/6) > 1e-12 {
+		t.Errorf("AP=%v want 5/6", pr)
+	}
+	if _, err := AUCPR([]float64{1, 2}, []bool{false, false}); err == nil {
+		t.Error("no-positive input accepted")
+	}
+}
+
+// Property: AUC-ROC is invariant under monotone transforms of scores.
+func TestAUCROCMonotoneInvariance(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		n := 10 + int(seed%50)
+		scores := make([]float64, n)
+		labels := make([]bool, n)
+		pos := false
+		neg := false
+		for i := range scores {
+			scores[i] = rng.Float64()
+			labels[i] = rng.IntN(2) == 0
+			if labels[i] {
+				pos = true
+			} else {
+				neg = true
+			}
+		}
+		if !pos || !neg {
+			return true
+		}
+		a, err1 := AUCROC(scores, labels)
+		trans := make([]float64, n)
+		for i, s := range scores {
+			trans[i] = math.Exp(3*s) + 1
+		}
+		b, err2 := AUCROC(trans, labels)
+		return err1 == nil && err2 == nil && math.Abs(a-b) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopNIndices(t *testing.T) {
+	scores := []float64{0.1, 0.9, 0.5, 0.7, 0.3}
+	got := TopNIndices(scores, 3, nil)
+	want := []int{1, 3, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopNIndices=%v want %v", got, want)
+		}
+	}
+	// Skip the best item.
+	got = TopNIndices(scores, 2, map[int]bool{1: true})
+	if got[0] != 3 || got[1] != 2 {
+		t.Errorf("with skip: %v", got)
+	}
+	// n larger than available.
+	got = TopNIndices([]float64{1, 2}, 5, nil)
+	if len(got) != 2 || got[0] != 1 {
+		t.Errorf("short input: %v", got)
+	}
+	if TopNIndices(scores, 0, nil) != nil {
+		t.Error("n=0 should give nil")
+	}
+}
+
+// Property: TopNIndices returns distinct indices ordered by descending
+// score, never including skipped indices.
+func TestTopNIndicesProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 2))
+		n := 1 + int(seed%40)
+		scores := make([]float64, n)
+		for i := range scores {
+			scores[i] = float64(rng.IntN(10)) // deliberate ties
+		}
+		skip := map[int]bool{0: true}
+		k := 1 + int(seed%7)
+		got := TopNIndices(scores, k, skip)
+		seen := map[int]bool{}
+		for i, idx := range got {
+			if skip[idx] || seen[idx] {
+				return false
+			}
+			seen[idx] = true
+			if i > 0 && scores[got[i-1]] < scores[idx] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogRegSeparable(t *testing.T) {
+	// y = 1 iff x0 > x1, clearly separable.
+	rng := rand.New(rand.NewPCG(7, 8))
+	var x [][]float64
+	var y []bool
+	for i := 0; i < 400; i++ {
+		a, b := rng.Float64(), rng.Float64()
+		x = append(x, []float64{a, b})
+		y = append(y, a > b)
+	}
+	clf, err := TrainLogReg(x, y, LogRegOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range x {
+		if (clf.Predict(x[i]) > 0.5) == y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(x)); acc < 0.95 {
+		t.Errorf("separable accuracy %.3f < 0.95", acc)
+	}
+}
+
+func TestLogRegErrors(t *testing.T) {
+	if _, err := TrainLogReg(nil, nil, LogRegOptions{}); err == nil {
+		t.Error("empty training set accepted")
+	}
+	if _, err := TrainLogReg([][]float64{{1}}, []bool{true, false}, LogRegOptions{}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := TrainLogReg([][]float64{{1, 2}, {1}}, []bool{true, false}, LogRegOptions{}); err == nil {
+		t.Error("ragged features accepted")
+	}
+}
+
+func TestTopNProtocol(t *testing.T) {
+	// 2 users, 4 items. Embeddings crafted so user0 scores items as
+	// 3,2,1,0 and user1 as 0,1,2,3.
+	u := dense.FromRows([][]float64{{1, 0}, {0, 1}})
+	v := dense.FromRows([][]float64{{3, 0}, {2, 1}, {1, 2}, {0, 3}})
+	// Training: user0 already has item0 (excluded from ranking).
+	train, err := bigraph.New(2, 4, []bigraph.Edge{{U: 0, V: 0, W: 1}, {U: 1, V: 3, W: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Held out: user0→item1 (their top remaining pick ⇒ hit at rank 1),
+	// user1→item0 (their worst pick ⇒ miss in top-1).
+	test := []bigraph.Edge{{U: 0, V: 1, W: 5}, {U: 1, V: 0, W: 5}}
+	res := TopN(train, test, u, v, 1, 1)
+	if res.Users != 2 {
+		t.Fatalf("users=%d", res.Users)
+	}
+	// user0: F1=1, user1: F1=0 → mean 0.5. Same for NDCG and MRR at n=1.
+	if math.Abs(res.F1-0.5) > 1e-12 || math.Abs(res.NDCG-0.5) > 1e-12 || math.Abs(res.MRR-0.5) > 1e-12 {
+		t.Errorf("TopN=%+v want 0.5s", res)
+	}
+}
+
+func TestTopNEmptyTest(t *testing.T) {
+	u := dense.New(2, 2)
+	v := dense.New(2, 2)
+	train, _ := bigraph.New(2, 2, []bigraph.Edge{{U: 0, V: 0, W: 1}})
+	res := TopN(train, nil, u, v, 5, 1)
+	if res.Users != 0 || res.F1 != 0 {
+		t.Errorf("empty test: %+v", res)
+	}
+}
+
+func TestLinkPredDiscriminates(t *testing.T) {
+	// Block graph: users 0-9 like items 0-9, users 10-19 like items 10-19.
+	var edges []bigraph.Edge
+	for u := 0; u < 20; u++ {
+		base := (u / 10) * 10
+		for d := 0; d < 10; d++ {
+			edges = append(edges, bigraph.Edge{U: u, V: base + d, W: 1})
+		}
+	}
+	full, err := bigraph.New(20, 20, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, testPos := full.Split(0.6, 3)
+	// Informative embeddings: block indicator coordinates.
+	u := dense.New(20, 2)
+	v := dense.New(20, 2)
+	for i := 0; i < 20; i++ {
+		u.Set(i, i/10, 1)
+		v.Set(i, i/10, 1)
+	}
+	// Hadamard features let the linear classifier express block matching
+	// (concatenation cannot represent this XOR-like structure — that is a
+	// property of the paper's protocol, not a bug here).
+	res, err := LinkPred(full, train, testPos, u, v, LinkPredOptions{Seed: 5, Features: FeatureHadamard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AUCROC < 0.9 || res.AUCPR < 0.9 {
+		t.Errorf("informative embeddings scored poorly: %+v", res)
+	}
+	// Uninformative embeddings should hover near chance.
+	rng := rand.New(rand.NewPCG(9, 9))
+	ru := dense.Random(20, 2, rng)
+	rv := dense.Random(20, 2, rng)
+	res2, err := LinkPred(full, train, testPos, ru, rv, LinkPredOptions{Seed: 5, Features: FeatureHadamard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.AUCROC > res.AUCROC {
+		t.Errorf("random embeddings (%.3f) beat informative ones (%.3f)", res2.AUCROC, res.AUCROC)
+	}
+	// The concat protocol must at least run end-to-end and return finite
+	// scores in [0,1].
+	res3, err := LinkPred(full, train, testPos, u, v, LinkPredOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.AUCROC < 0 || res3.AUCROC > 1 || res3.AUCPR < 0 || res3.AUCPR > 1 {
+		t.Errorf("concat protocol out of range: %+v", res3)
+	}
+}
+
+func TestLinkPredEmptyTest(t *testing.T) {
+	g, _ := bigraph.New(2, 2, []bigraph.Edge{{U: 0, V: 0, W: 1}})
+	u := dense.New(2, 1)
+	v := dense.New(2, 1)
+	if _, err := LinkPred(g, g, nil, u, v, LinkPredOptions{}); err == nil {
+		t.Error("empty test set accepted")
+	}
+}

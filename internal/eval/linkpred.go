@@ -1,0 +1,154 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"gebe/internal/bigraph"
+	"gebe/internal/dense"
+)
+
+// LPResult holds link-prediction scores (§6.4).
+type LPResult struct {
+	AUCROC, AUCPR float64
+}
+
+// FeatureMode selects how a node pair's embeddings become a classifier
+// feature vector.
+type FeatureMode int
+
+const (
+	// FeatureConcat is the paper's protocol: concat(U[u],V[v]), length 2k.
+	FeatureConcat FeatureMode = iota
+	// FeatureHadamard uses the element-wise product U[u]⊙V[v] (length k),
+	// the standard alternative from the node2vec/BiNE literature; unlike
+	// concatenation it lets a linear classifier express the dot-product
+	// score.
+	FeatureHadamard
+	// FeatureConcatHadamard concatenates both (length 3k).
+	FeatureConcatHadamard
+)
+
+// LinkPredOptions tunes the protocol; zero values select defaults.
+type LinkPredOptions struct {
+	// MaxTrainPairs caps the logistic-regression training set (positives
+	// plus the same number of negatives); default 20000. Larger graphs are
+	// subsampled, which matches how reference implementations keep the
+	// classifier cheap relative to embedding time.
+	MaxTrainPairs int
+	// Features selects the pair feature map (default FeatureConcat, the
+	// paper's choice).
+	Features FeatureMode
+	Seed     uint64
+	LogReg   LogRegOptions
+}
+
+func (o LinkPredOptions) withDefaults() LinkPredOptions {
+	if o.MaxTrainPairs == 0 {
+		o.MaxTrainPairs = 20000
+	}
+	return o
+}
+
+// LinkPred runs the paper's link-prediction protocol: the graph's removed
+// edges (testPos) are the positive test set; an equal number of sampled
+// non-edges are negatives; a logistic-regression classifier is trained on
+// the residual graph's edges (positives) plus sampled non-edges
+// (negatives), with concat(U[u],V[v]) as the length-2k feature vector.
+//
+// full must be the graph *before* edge removal so negatives are true
+// non-edges.
+func LinkPred(full, train *bigraph.Graph, testPos []bigraph.Edge, u, v *dense.Matrix, opt LinkPredOptions) (LPResult, error) {
+	opt = opt.withDefaults()
+	if len(testPos) == 0 {
+		return LPResult{}, fmt.Errorf("eval: empty test set")
+	}
+	rng := rand.New(rand.NewPCG(opt.Seed, opt.Seed^0x6a09e667f3bcc908))
+	exists := full.HasEdgeSet()
+
+	feature := func(uu, vv int) []float64 {
+		ur, vr := u.Row(uu), v.Row(vv)
+		switch opt.Features {
+		case FeatureHadamard:
+			f := make([]float64, len(ur))
+			for i := range f {
+				f[i] = ur[i] * vr[i]
+			}
+			return f
+		case FeatureConcatHadamard:
+			f := make([]float64, 2*len(ur)+len(vr))
+			copy(f, ur)
+			copy(f[len(ur):], vr)
+			for i := range ur {
+				f[len(ur)+len(vr)+i] = ur[i] * vr[i]
+			}
+			return f
+		default:
+			f := make([]float64, len(ur)+len(vr))
+			copy(f, ur)
+			copy(f[len(ur):], vr)
+			return f
+		}
+	}
+	sampleNeg := func(n int) []bigraph.Edge {
+		out := make([]bigraph.Edge, 0, n)
+		for len(out) < n {
+			uu, vv := rng.IntN(full.NU), rng.IntN(full.NV)
+			if exists[bigraph.PackEdge(uu, vv)] {
+				continue
+			}
+			out = append(out, bigraph.Edge{U: uu, V: vv, W: 1})
+		}
+		return out
+	}
+
+	// Training set: residual-graph edges (subsampled) + equal negatives.
+	nPos := len(train.Edges)
+	if nPos > opt.MaxTrainPairs/2 {
+		nPos = opt.MaxTrainPairs / 2
+	}
+	perm := rng.Perm(len(train.Edges))
+	var x [][]float64
+	var y []bool
+	for _, p := range perm[:nPos] {
+		e := train.Edges[p]
+		x = append(x, feature(e.U, e.V))
+		y = append(y, true)
+	}
+	for _, e := range sampleNeg(nPos) {
+		x = append(x, feature(e.U, e.V))
+		y = append(y, false)
+	}
+	clf, err := TrainLogReg(x, y, func() LogRegOptions {
+		lo := opt.LogReg
+		if lo.Seed == 0 {
+			lo.Seed = opt.Seed + 1
+		}
+		return lo
+	}())
+	if err != nil {
+		return LPResult{}, err
+	}
+
+	// Test set: removed edges + equal sampled negatives.
+	testNeg := sampleNeg(len(testPos))
+	scores := make([]float64, 0, 2*len(testPos))
+	labels := make([]bool, 0, 2*len(testPos))
+	for _, e := range testPos {
+		scores = append(scores, clf.Predict(feature(e.U, e.V)))
+		labels = append(labels, true)
+	}
+	for _, e := range testNeg {
+		scores = append(scores, clf.Predict(feature(e.U, e.V)))
+		labels = append(labels, false)
+	}
+	roc, err := AUCROC(scores, labels)
+	if err != nil {
+		return LPResult{}, err
+	}
+	pr, err := AUCPR(scores, labels)
+	if err != nil {
+		return LPResult{}, err
+	}
+	return LPResult{AUCROC: roc, AUCPR: pr}, nil
+}

@@ -1,0 +1,115 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// LogReg is an L2-regularized binary logistic regression classifier
+// trained by mini-batch SGD — the classifier the paper's link-prediction
+// protocol trains on concatenated node embeddings.
+type LogReg struct {
+	// W are the learned weights, Bias the intercept.
+	W    []float64
+	Bias float64
+}
+
+// LogRegOptions configures training; zero values select defaults.
+type LogRegOptions struct {
+	Epochs    int     // default 30
+	LearnRate float64 // default 0.1
+	L2        float64 // default 1e-4
+	BatchSize int     // default 64
+	Seed      uint64
+}
+
+func (o LogRegOptions) withDefaults() LogRegOptions {
+	if o.Epochs == 0 {
+		o.Epochs = 60
+	}
+	if o.LearnRate == 0 {
+		o.LearnRate = 0.5
+	}
+	if o.L2 == 0 {
+		o.L2 = 1e-4
+	}
+	if o.BatchSize == 0 {
+		o.BatchSize = 64
+	}
+	return o
+}
+
+// TrainLogReg fits the classifier on feature rows x (all equal length)
+// with binary labels y.
+func TrainLogReg(x [][]float64, y []bool, opt LogRegOptions) (*LogReg, error) {
+	if len(x) == 0 {
+		return nil, fmt.Errorf("eval: no training rows")
+	}
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("eval: %d rows vs %d labels", len(x), len(y))
+	}
+	dim := len(x[0])
+	for i, row := range x {
+		if len(row) != dim {
+			return nil, fmt.Errorf("eval: row %d has %d features, want %d", i, len(row), dim)
+		}
+	}
+	opt = opt.withDefaults()
+	m := &LogReg{W: make([]float64, dim)}
+	rng := rand.New(rand.NewPCG(opt.Seed, opt.Seed^0xb5297a4d))
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	grad := make([]float64, dim)
+	for epoch := 0; epoch < opt.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+		lr := opt.LearnRate / (1 + 0.1*float64(epoch))
+		for start := 0; start < len(idx); start += opt.BatchSize {
+			end := start + opt.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			for j := range grad {
+				grad[j] = 0
+			}
+			var gradB float64
+			for _, i := range idx[start:end] {
+				p := m.Predict(x[i])
+				t := 0.0
+				if y[i] {
+					t = 1
+				}
+				d := p - t
+				for j, xv := range x[i] {
+					grad[j] += d * xv
+				}
+				gradB += d
+			}
+			scale := lr / float64(end-start)
+			for j := range m.W {
+				m.W[j] -= scale*grad[j] + lr*opt.L2*m.W[j]
+			}
+			m.Bias -= scale * gradB
+		}
+	}
+	return m, nil
+}
+
+// Predict returns the probability of the positive class.
+func (m *LogReg) Predict(x []float64) float64 {
+	z := m.Bias
+	for j, w := range m.W {
+		z += w * x[j]
+	}
+	return sigmoid(z)
+}
+
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}

@@ -1,0 +1,217 @@
+// Package eval implements the paper's downstream evaluation protocols:
+// top-N recommendation (§6.3) with F1/NDCG/MRR, and link prediction
+// (§6.4) as binary classification with a logistic-regression classifier
+// over concatenated embeddings, scored by AUC-ROC and AUC-PR.
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// F1At computes F1@N for one user given the recommended ranking and the
+// ground-truth set (both already truncated to N by the caller's protocol).
+func F1At(rec []int, truth map[int]bool, n int) float64 {
+	if n <= 0 || len(truth) == 0 {
+		return 0
+	}
+	hits := 0
+	for i, item := range rec {
+		if i >= n {
+			break
+		}
+		if truth[item] {
+			hits++
+		}
+	}
+	if hits == 0 {
+		return 0
+	}
+	den := len(rec)
+	if den > n {
+		den = n
+	}
+	p := float64(hits) / float64(den)
+	r := float64(hits) / float64(len(truth))
+	return 2 * p * r / (p + r)
+}
+
+// NDCGAt computes NDCG@N with binary relevance for one user.
+func NDCGAt(rec []int, truth map[int]bool, n int) float64 {
+	if n <= 0 || len(truth) == 0 {
+		return 0
+	}
+	var dcg float64
+	for i, item := range rec {
+		if i >= n {
+			break
+		}
+		if truth[item] {
+			dcg += 1 / math.Log2(float64(i)+2)
+		}
+	}
+	ideal := len(truth)
+	if ideal > n {
+		ideal = n
+	}
+	var idcg float64
+	for i := 0; i < ideal; i++ {
+		idcg += 1 / math.Log2(float64(i)+2)
+	}
+	if idcg == 0 {
+		return 0
+	}
+	return dcg / idcg
+}
+
+// MRRAt computes the reciprocal rank of the first relevant item within
+// the top n (0 when none appears).
+func MRRAt(rec []int, truth map[int]bool, n int) float64 {
+	for i, item := range rec {
+		if i >= n {
+			break
+		}
+		if truth[item] {
+			return 1 / float64(i+1)
+		}
+	}
+	return 0
+}
+
+// AUCROC computes the area under the ROC curve from scores and binary
+// labels via the rank-sum (Mann–Whitney) formulation; ties share ranks.
+func AUCROC(scores []float64, labels []bool) (float64, error) {
+	if len(scores) != len(labels) {
+		return 0, fmt.Errorf("eval: %d scores vs %d labels", len(scores), len(labels))
+	}
+	nPos, nNeg := 0, 0
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+		if labels[i] {
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0, fmt.Errorf("eval: AUC-ROC needs both classes (pos=%d neg=%d)", nPos, nNeg)
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+	// Average ranks over tie groups.
+	var rankSumPos float64
+	i := 0
+	for i < len(idx) {
+		j := i
+		for j < len(idx) && scores[idx[j]] == scores[idx[i]] {
+			j++
+		}
+		avgRank := float64(i+j+1) / 2 // ranks are 1-based: (i+1 + j) / 2
+		for t := i; t < j; t++ {
+			if labels[idx[t]] {
+				rankSumPos += avgRank
+			}
+		}
+		i = j
+	}
+	u := rankSumPos - float64(nPos)*float64(nPos+1)/2
+	return u / (float64(nPos) * float64(nNeg)), nil
+}
+
+// AUCPR computes the area under the precision-recall curve as average
+// precision (the step-function integral used by scikit-learn).
+func AUCPR(scores []float64, labels []bool) (float64, error) {
+	if len(scores) != len(labels) {
+		return 0, fmt.Errorf("eval: %d scores vs %d labels", len(scores), len(labels))
+	}
+	nPos := 0
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+		if labels[i] {
+			nPos++
+		}
+	}
+	if nPos == 0 {
+		return 0, fmt.Errorf("eval: AUC-PR needs at least one positive")
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	var ap float64
+	tp := 0
+	for rank, id := range idx {
+		if labels[id] {
+			tp++
+			precision := float64(tp) / float64(rank+1)
+			ap += precision / float64(nPos)
+		}
+	}
+	return ap, nil
+}
+
+// TopNIndices returns the indices of the n largest values in scores, in
+// descending score order, excluding any index in skip. It uses partial
+// selection, O(len·log n).
+func TopNIndices(scores []float64, n int, skip map[int]bool) []int {
+	if n <= 0 {
+		return nil
+	}
+	// Simple bounded min-heap over (score, idx).
+	type pair struct {
+		s float64
+		i int
+	}
+	heap := make([]pair, 0, n)
+	less := func(a, b pair) bool {
+		if a.s != b.s {
+			return a.s < b.s
+		}
+		return a.i > b.i // deterministic tie-break: prefer smaller index
+	}
+	siftDown := func(h []pair, i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			m := i
+			if l < len(h) && less(h[l], h[m]) {
+				m = l
+			}
+			if r < len(h) && less(h[r], h[m]) {
+				m = r
+			}
+			if m == i {
+				return
+			}
+			h[i], h[m] = h[m], h[i]
+			i = m
+		}
+	}
+	for i, s := range scores {
+		if skip != nil && skip[i] {
+			continue
+		}
+		p := pair{s, i}
+		if len(heap) < n {
+			heap = append(heap, p)
+			// sift up
+			c := len(heap) - 1
+			for c > 0 {
+				par := (c - 1) / 2
+				if less(heap[c], heap[par]) {
+					heap[c], heap[par] = heap[par], heap[c]
+					c = par
+				} else {
+					break
+				}
+			}
+		} else if less(heap[0], p) {
+			heap[0] = p
+			siftDown(heap, 0)
+		}
+	}
+	sort.Slice(heap, func(a, b int) bool { return less(heap[b], heap[a]) })
+	out := make([]int, len(heap))
+	for i, p := range heap {
+		out[i] = p.i
+	}
+	return out
+}

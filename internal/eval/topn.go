@@ -1,0 +1,110 @@
+package eval
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"gebe/internal/bigraph"
+	"gebe/internal/dense"
+)
+
+// TopNResult aggregates per-user recommendation metrics (§6.3).
+type TopNResult struct {
+	F1, NDCG, MRR float64
+	// Users is the number of users with at least one held-out edge
+	// (the denominator of the averages).
+	Users int
+}
+
+// TopN runs the paper's top-N recommendation protocol: for every user
+// with held-out edges, rank all items by U[u]·V[v] excluding training
+// edges, compare the top n against the user's ground-truth list (their
+// held-out neighbors ranked by edge weight, truncated to n), and average
+// F1/NDCG/MRR over users.
+func TopN(train *bigraph.Graph, test []bigraph.Edge, u, v *dense.Matrix, n int, threads int) TopNResult {
+	if threads < 1 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	// Per-user training items to exclude and held-out edges.
+	trainItems := make([]map[int]bool, train.NU)
+	for _, e := range train.Edges {
+		if trainItems[e.U] == nil {
+			trainItems[e.U] = make(map[int]bool)
+		}
+		trainItems[e.U][e.V] = true
+	}
+	heldOut := make([][]bigraph.Edge, train.NU)
+	for _, e := range test {
+		heldOut[e.U] = append(heldOut[e.U], e)
+	}
+	var users []int
+	for uu, edges := range heldOut {
+		if len(edges) > 0 {
+			users = append(users, uu)
+		}
+	}
+	res := TopNResult{Users: len(users)}
+	if len(users) == 0 {
+		return res
+	}
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	chunk := (len(users) + threads - 1) / threads
+	for lo := 0; lo < len(users); lo += chunk {
+		hi := lo + chunk
+		if hi > len(users) {
+			hi = len(users)
+		}
+		wg.Add(1)
+		go func(users []int) {
+			defer wg.Done()
+			scores := make([]float64, train.NV)
+			var f1, ndcg, mrr float64
+			for _, uu := range users {
+				urow := u.Row(uu)
+				for vv := 0; vv < train.NV; vv++ {
+					scores[vv] = dense.Dot(urow, v.Row(vv))
+				}
+				rec := TopNIndices(scores, n, trainItems[uu])
+				truth := groundTruth(heldOut[uu], n)
+				f1 += F1At(rec, truth, n)
+				ndcg += NDCGAt(rec, truth, n)
+				mrr += MRRAt(rec, truth, n)
+			}
+			mu.Lock()
+			res.F1 += f1
+			res.NDCG += ndcg
+			res.MRR += mrr
+			mu.Unlock()
+		}(users[lo:hi])
+	}
+	wg.Wait()
+	res.F1 /= float64(len(users))
+	res.NDCG /= float64(len(users))
+	res.MRR /= float64(len(users))
+	return res
+}
+
+// groundTruth ranks a user's held-out neighbors by edge weight (ties by
+// item index for determinism) and keeps the top n — the paper's
+// "top-N ground-truth list".
+func groundTruth(edges []bigraph.Edge, n int) map[int]bool {
+	sorted := make([]bigraph.Edge, len(edges))
+	copy(sorted, edges)
+	sort.Slice(sorted, func(a, b int) bool {
+		if sorted[a].W != sorted[b].W {
+			return sorted[a].W > sorted[b].W
+		}
+		return sorted[a].V < sorted[b].V
+	})
+	if len(sorted) > n {
+		sorted = sorted[:n]
+	}
+	truth := make(map[int]bool, len(sorted))
+	for _, e := range sorted {
+		truth[e.V] = true
+	}
+	return truth
+}

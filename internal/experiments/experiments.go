@@ -1,0 +1,245 @@
+// Package experiments regenerates the paper's evaluation section on the
+// synthetic stand-in datasets: Table 4 (top-N recommendation), Table 5
+// (link prediction), Figure 2 (embedding time for all methods on all ten
+// datasets), Figure 3 (scalability on bipartite Erdős–Rényi graphs), and
+// Figures 4–5 (parameter sweeps for λ, ε and τ). See DESIGN.md §2 for
+// the experiment index and EXPERIMENTS.md for paper-vs-measured results.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"gebe/internal/baselines"
+	"gebe/internal/bigraph"
+	"gebe/internal/core"
+	"gebe/internal/dense"
+	"gebe/internal/eval"
+	"gebe/internal/gen"
+	"gebe/internal/pmf"
+)
+
+// Config controls a harness run.
+type Config struct {
+	// K is the embedding dimensionality. The paper uses 128 on the
+	// full-size datasets; the default 32 matches the ~30× smaller
+	// stand-ins.
+	K int
+	// Seed drives dataset generation, splits and every solver.
+	Seed uint64
+	// Threads caps solver parallelism (default 1, the paper's setting).
+	Threads int
+	// TimeBudget bounds each (method, dataset) cell; methods that exceed
+	// it are reported as "-", mirroring the paper's three-day cutoff
+	// (default 60s).
+	TimeBudget time.Duration
+	// Datasets optionally restricts runs to the named stand-ins.
+	Datasets []string
+	// Methods optionally restricts runs to the named methods.
+	Methods []string
+	// LPFeatures selects the link-prediction pair feature map (default
+	// FeatureConcat, the paper's protocol; see eval.FeatureMode).
+	LPFeatures eval.FeatureMode
+	// Out receives the formatted tables (required).
+	Out io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.K == 0 {
+		c.K = 32
+	}
+	if c.Threads == 0 {
+		c.Threads = 1
+	}
+	if c.TimeBudget == 0 {
+		c.TimeBudget = 60 * time.Second
+	}
+	return c
+}
+
+func (c Config) wantDataset(name string) bool {
+	if len(c.Datasets) == 0 {
+		return true
+	}
+	for _, d := range c.Datasets {
+		if d == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (c Config) wantMethod(name string) bool {
+	if len(c.Methods) == 0 {
+		return true
+	}
+	for _, m := range c.Methods {
+		if m == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Spec is one embedding method under test.
+type Spec struct {
+	Name string
+	Run  func(g *bigraph.Graph, deadline time.Time) (u, v *dense.Matrix, err error)
+	// Ours marks the paper's methods (printed first, like the tables).
+	Ours bool
+}
+
+// Methods returns the full method roster for cfg: the paper's methods
+// (GEBE^p, three GEBE instantiations, the two ablations) followed by the
+// re-implemented competitors.
+func Methods(cfg Config) []Spec {
+	cfg = cfg.withDefaults()
+	k, seed, threads := cfg.K, cfg.Seed, cfg.Threads
+	ours := func(name string, f func(*bigraph.Graph, core.Options) (*core.Embedding, error), opt core.Options) Spec {
+		return Spec{Name: name, Ours: true, Run: func(g *bigraph.Graph, deadline time.Time) (*dense.Matrix, *dense.Matrix, error) {
+			o := opt
+			o.K = k
+			o.Seed = seed
+			o.Threads = threads
+			o.Deadline = deadline
+			e, err := f(g, o)
+			if err != nil {
+				return nil, nil, err
+			}
+			return e.U, e.V, nil
+		}}
+	}
+	specs := []Spec{
+		ours("GEBE^p", core.GEBEP, core.Options{Lambda: 1, Epsilon: 0.1}),
+		ours("GEBE (Poisson)", core.GEBE, core.Options{PMF: pmf.NewPoisson(1), Tau: 20, Iters: 200, Tol: 1e-5}),
+		ours("GEBE (Geometric)", core.GEBE, core.Options{PMF: pmf.NewGeometric(0.5), Tau: 20, Iters: 200, Tol: 1e-5}),
+		ours("GEBE (Uniform)", core.GEBE, core.Options{PMF: pmf.NewUniform(20), Tau: 20, Iters: 200, Tol: 1e-5}),
+		ours("MHP-BNE", core.MHPBNE, core.Options{PMF: pmf.NewPoisson(1), Tau: 20, Iters: 200, Tol: 1e-5}),
+		ours("MHS-BNE", core.MHSBNE, core.Options{PMF: pmf.NewPoisson(1), Tau: 20, Iters: 200, Tol: 1e-5}),
+	}
+	for _, m := range baselines.All() {
+		m := m
+		specs = append(specs, Spec{Name: m.Name, Run: func(g *bigraph.Graph, deadline time.Time) (*dense.Matrix, *dense.Matrix, error) {
+			return m.Train(g, k, seed, threads, deadline)
+		}})
+	}
+	var filtered []Spec
+	for _, s := range specs {
+		if cfg.wantMethod(s.Name) {
+			filtered = append(filtered, s)
+		}
+	}
+	return filtered
+}
+
+// timedRun executes spec.Run under the time budget. The deadline is
+// cooperative — every solver checks it at sweep/epoch granularity and
+// aborts with budget.ErrExceeded — so a timed-out method releases the
+// machine instead of lingering; overruns report ok=false, which the
+// tables print as the paper's "-".
+func timedRun(spec Spec, g *bigraph.Graph, budget time.Duration) (u, v *dense.Matrix, elapsed time.Duration, ok bool) {
+	start := time.Now()
+	ru, rv, err := spec.Run(g, start.Add(budget))
+	elapsed = time.Since(start)
+	if err != nil {
+		return nil, nil, elapsed, false
+	}
+	return ru, rv, elapsed, true
+}
+
+// prepared caches one dataset's graph and split so multiple experiments
+// share the work.
+type prepared struct {
+	ds          gen.Dataset
+	full, train *bigraph.Graph
+	test        []bigraph.Edge
+}
+
+// prepare builds the stand-in, applies the k-core for recommendation
+// datasets (per §6.3's 10-core protocol, scaled), and splits 60/40.
+func prepare(ds gen.Dataset, seed uint64, rec bool) (*prepared, error) {
+	g, err := ds.Build(seed)
+	if err != nil {
+		return nil, err
+	}
+	if rec && ds.CoreK > 1 {
+		g, _, _ = g.KCore(ds.CoreK)
+		if g.NumEdges() == 0 {
+			return nil, fmt.Errorf("experiments: %s: %d-core is empty", ds.Name, ds.CoreK)
+		}
+	}
+	train, test := g.Split(0.6, seed^0x517cc1b727220a95)
+	return &prepared{ds: ds, full: g, train: train, test: test}, nil
+}
+
+// fmtCell renders a metric, or "-" for a timed-out/failed method.
+func fmtCell(v float64, ok bool) string {
+	if !ok {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// printTable writes an aligned table.
+func printTable(w io.Writer, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = dashes(widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+}
+
+func dashes(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '-'
+	}
+	return string(b)
+}
+
+// sortedNames returns dataset names filtered by cfg, in registry order.
+func sortedNames(cfg Config, names []string) []string {
+	var out []string
+	for _, n := range names {
+		if cfg.wantDataset(n) {
+			out = append(out, n)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return registryIndex(out[i]) < registryIndex(out[j]) })
+	return out
+}
+
+func registryIndex(name string) int {
+	for i, d := range gen.Datasets() {
+		if d.Name == name {
+			return i
+		}
+	}
+	return 1 << 30
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableNSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := fastCfg(&buf)
+	cfg.Datasets = []string{"dblp"}
+	cfg.Methods = []string{"GEBE^p", "BPR"}
+	rows, err := TableN(cfg, []int{1, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 methods × 2 Ns.
+	if len(rows) != 4 {
+		t.Fatalf("want 4 rows, got %d", len(rows))
+	}
+	byKey := map[string]TableNRow{}
+	for _, r := range rows {
+		if !r.OK {
+			t.Fatalf("%s failed", r.Method)
+		}
+		byKey[r.Method+"@"+itoa(r.N)] = r
+	}
+	// Recall can only grow with N, so F1@10 >= ... not strictly; but MRR
+	// at larger N is monotone non-decreasing (more chances to hit).
+	for _, m := range cfg.Methods {
+		if byKey[m+"@10"].MRR+1e-12 < byKey[m+"@1"].MRR {
+			t.Errorf("%s: MRR@10 %.3f < MRR@1 %.3f (must be monotone in N)",
+				m, byKey[m+"@10"].MRR, byKey[m+"@1"].MRR)
+		}
+	}
+	if !strings.Contains(buf.String(), "top-N sweep") {
+		t.Error("missing sweep header")
+	}
+}
+
+func itoa(n int) string {
+	if n == 1 {
+		return "1"
+	}
+	return "10"
+}
+
+func TestAblationsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations run several solver configurations")
+	}
+	var buf bytes.Buffer
+	cfg := fastCfg(&buf)
+	cfg.K = 8
+	rows, err := Ablations(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	studies := map[string]int{}
+	for _, r := range rows {
+		studies[r.Study]++
+	}
+	if studies["scaling"] != 2 || studies["ksi-sweeps"] != 5 || studies["rsvd-eps"] != 4 {
+		t.Errorf("unexpected study counts: %v", studies)
+	}
+	// RSVD error should not increase as eps tightens (allow small noise).
+	var errs []float64
+	for _, r := range rows {
+		if r.Study == "rsvd-eps" {
+			errs = append(errs, r.Metric)
+		}
+	}
+	if len(errs) == 4 && errs[3] > errs[0]+0.05 {
+		t.Errorf("sigma1 error grew as eps tightened: %v", errs)
+	}
+}

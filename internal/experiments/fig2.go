@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"gebe/internal/gen"
+)
+
+// Fig2Row is one (method, dataset) timing measurement.
+type Fig2Row struct {
+	Method, Dataset string
+	Elapsed         time.Duration
+	OK              bool
+}
+
+// Fig2 reproduces the paper's Figure 2: wall-clock embedding
+// construction time for every method on all ten stand-ins (time to build
+// embeddings only — loading and output are excluded, as in §6.2).
+func Fig2(cfg Config) ([]Fig2Row, error) {
+	cfg = cfg.withDefaults()
+	specs := Methods(cfg)
+	var rows []Fig2Row
+	all := make([]string, 0, 10)
+	for _, d := range gen.Datasets() {
+		all = append(all, d.Name)
+	}
+	for _, name := range sortedNames(cfg, all) {
+		ds, err := gen.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		g, err := ds.Build(cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(cfg.Out, "\n== Figure 2: embedding time on %s (%v) ==\n", name, g.Stats())
+		var printed [][]string
+		for _, spec := range specs {
+			_, _, elapsed, ok := timedRun(spec, g, cfg.TimeBudget)
+			rows = append(rows, Fig2Row{Method: spec.Name, Dataset: name, Elapsed: elapsed, OK: ok})
+			cell := "-"
+			if ok {
+				cell = fmt.Sprintf("%.2fs", elapsed.Seconds())
+			}
+			printed = append(printed, []string{spec.Name, cell})
+		}
+		printTable(cfg.Out, []string{"Method", "time"}, printed)
+	}
+	return rows, nil
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"gebe/internal/bigraph"
+	"gebe/internal/core"
+	"gebe/internal/gen"
+	"gebe/internal/pmf"
+)
+
+// Fig3Row is one scalability measurement.
+type Fig3Row struct {
+	Method string
+	// Nodes is |U|+|V|; Edges is |E|.
+	Nodes, Edges int
+	Elapsed      time.Duration
+}
+
+// Fig3 reproduces the paper's Figure 3 scalability study on bipartite
+// Erdős–Rényi graphs, scaled 200× down: (a) varying the node count at a
+// fixed edge count, (b) varying the edge count at a fixed node count.
+// Only GEBE (Poisson) and GEBE^p run, as in the paper.
+func Fig3(cfg Config) ([]Fig3Row, error) {
+	cfg = cfg.withDefaults()
+	// Paper: nodes 2e5..1e6 at 1e7 edges; edges 2e7..1e8 at 1e6 nodes.
+	// Scaled /200 with the same 5-point grids so the sweep finishes on a
+	// single core.
+	nodeGrid := []int{1000, 2000, 3000, 4000, 5000}
+	const edgesForNodeGrid = 50000
+	edgeGrid := []int{100000, 200000, 300000, 400000, 500000}
+	const nodesForEdgeGrid = 5000
+
+	var rows []Fig3Row
+	runBoth := func(nu, nv, ne int) error {
+		g, err := erGraph(nu, nv, ne, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		for _, m := range []string{"GEBE (Poisson)", "GEBE^p"} {
+			var elapsed time.Duration
+			start := time.Now()
+			switch m {
+			case "GEBE (Poisson)":
+				// Fixed sweep count: the measurement is how time scales with
+				// graph size, and ER spectra have tiny eigengaps that would
+				// otherwise make the stopping point (not the per-sweep cost)
+				// dominate the curve.
+				_, err = core.GEBE(g, core.Options{K: cfg.K, PMF: pmf.NewPoisson(1),
+					Tau: 20, Iters: 30, Tol: 1e-9, Seed: cfg.Seed, Threads: cfg.Threads})
+			case "GEBE^p":
+				_, err = core.GEBEP(g, core.Options{K: cfg.K, Lambda: 1, Epsilon: 0.1,
+					Seed: cfg.Seed, Threads: cfg.Threads})
+			}
+			elapsed = time.Since(start)
+			if err != nil {
+				return fmt.Errorf("experiments: fig3 %s on %d nodes / %d edges: %w", m, nu+nv, ne, err)
+			}
+			rows = append(rows, Fig3Row{Method: m, Nodes: nu + nv, Edges: ne, Elapsed: elapsed})
+		}
+		return nil
+	}
+
+	fmt.Fprintf(cfg.Out, "\n== Figure 3(a): vary nodes, |E|=%d ==\n", edgesForNodeGrid)
+	for _, n := range nodeGrid {
+		if err := runBoth(n/2, n/2, edgesForNodeGrid); err != nil {
+			return nil, err
+		}
+	}
+	printFig3(cfg, rows[:0:0], rows, true, edgesForNodeGrid)
+
+	before := len(rows)
+	fmt.Fprintf(cfg.Out, "\n== Figure 3(b): vary edges, nodes=%d ==\n", nodesForEdgeGrid)
+	for _, e := range edgeGrid {
+		if err := runBoth(nodesForEdgeGrid/2, nodesForEdgeGrid/2, e); err != nil {
+			return nil, err
+		}
+	}
+	printFig3(cfg, rows[:before], rows[before:], false, nodesForEdgeGrid)
+	return rows, nil
+}
+
+func printFig3(cfg Config, _, rows []Fig3Row, byNodes bool, fixed int) {
+	var printed [][]string
+	for _, r := range rows {
+		x := r.Nodes
+		if !byNodes {
+			x = r.Edges
+		}
+		printed = append(printed, []string{r.Method, fmt.Sprintf("%d", x), fmt.Sprintf("%.2fs", r.Elapsed.Seconds())})
+	}
+	head := "nodes"
+	if !byNodes {
+		head = "edges"
+	}
+	printTable(cfg.Out, []string{"Method", head, "time"}, printed)
+}
+
+func erGraph(nu, nv, ne int, seed uint64) (*bigraph.Graph, error) {
+	return gen.ER(nu, nv, ne, false, seed)
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gebe/internal/core"
+	"gebe/internal/eval"
+	"gebe/internal/gen"
+	"gebe/internal/pmf"
+)
+
+// SweepRow is one parameter-sweep measurement: metric value at one
+// parameter setting on one dataset.
+type SweepRow struct {
+	Dataset, Param string
+	Value          float64 // parameter value
+	Metric         float64 // F1@10 (Fig 4) or AUC-ROC (Fig 5)
+}
+
+// fig45 datasets follow §6.5: recommendation sweeps on weighted
+// stand-ins, link-prediction sweeps on unweighted ones. Three stand-ins
+// per figure keep the suite fast (the paper plots 3–4 lines each).
+var (
+	fig4Datasets = []string{"dblp", "movielens", "lastfm"}
+	fig5Datasets = []string{"wikipedia", "pinterest", "yelp"}
+)
+
+// Fig4 reproduces the paper's Figure 4: top-10 recommendation F1 of
+// GEBE^p varying λ ∈ {1..5} and ε ∈ {0.1..0.9}, and of GEBE (Poisson)
+// varying τ ∈ {1,2,5,10,20,30}.
+func Fig4(cfg Config) ([]SweepRow, error) {
+	cfg = cfg.withDefaults()
+	return paramSweep(cfg, fig4Datasets, true)
+}
+
+// Fig5 reproduces the paper's Figure 5: the same sweeps measured by
+// link-prediction AUC-ROC on unweighted stand-ins.
+func Fig5(cfg Config) ([]SweepRow, error) {
+	cfg = cfg.withDefaults()
+	return paramSweep(cfg, fig5Datasets, false)
+}
+
+func paramSweep(cfg Config, datasets []string, rec bool) ([]SweepRow, error) {
+	lambdas := []float64{1, 2, 3, 4, 5}
+	epsilons := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	taus := []int{1, 2, 5, 10, 20, 30}
+	metricName := "AUC-ROC"
+	figName := "Figure 5"
+	if rec {
+		metricName = "F1@10"
+		figName = "Figure 4"
+	}
+	var rows []SweepRow
+	for _, name := range sortedNames(cfg, datasets) {
+		ds, err := gen.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		prep, err := prepare(ds, cfg.Seed, rec)
+		if err != nil {
+			return nil, err
+		}
+		evalEmb := func(e *core.Embedding) float64 {
+			if rec {
+				return eval.TopN(prep.train, prep.test, e.U, e.V, 10, cfg.Threads).F1
+			}
+			res, err := eval.LinkPred(prep.full, prep.train, prep.test, e.U, e.V,
+				eval.LinkPredOptions{Seed: cfg.Seed + 17})
+			if err != nil {
+				return 0
+			}
+			return res.AUCROC
+		}
+
+		fmt.Fprintf(cfg.Out, "\n== %s on %s: GEBE^p varying lambda (%s) ==\n", figName, name, metricName)
+		var printed [][]string
+		for _, lam := range lambdas {
+			e, err := core.GEBEP(prep.train, core.Options{K: cfg.K, Lambda: lam, Epsilon: 0.1,
+				PMF: pmf.NewPoisson(lam), Seed: cfg.Seed, Threads: cfg.Threads})
+			if err != nil {
+				return nil, err
+			}
+			m := evalEmb(e)
+			rows = append(rows, SweepRow{Dataset: name, Param: "lambda", Value: lam, Metric: m})
+			printed = append(printed, []string{fmt.Sprintf("%.0f", lam), fmt.Sprintf("%.3f", m)})
+		}
+		printTable(cfg.Out, []string{"lambda", metricName}, printed)
+
+		fmt.Fprintf(cfg.Out, "\n== %s on %s: GEBE^p varying epsilon (%s) ==\n", figName, name, metricName)
+		printed = nil
+		for _, eps := range epsilons {
+			e, err := core.GEBEP(prep.train, core.Options{K: cfg.K, Lambda: 1, Epsilon: eps,
+				Seed: cfg.Seed, Threads: cfg.Threads})
+			if err != nil {
+				return nil, err
+			}
+			m := evalEmb(e)
+			rows = append(rows, SweepRow{Dataset: name, Param: "epsilon", Value: eps, Metric: m})
+			printed = append(printed, []string{fmt.Sprintf("%.1f", eps), fmt.Sprintf("%.3f", m)})
+		}
+		printTable(cfg.Out, []string{"epsilon", metricName}, printed)
+
+		fmt.Fprintf(cfg.Out, "\n== %s on %s: GEBE (Poisson) varying tau (%s) ==\n", figName, name, metricName)
+		printed = nil
+		for _, tau := range taus {
+			e, err := core.GEBE(prep.train, core.Options{K: cfg.K, PMF: pmf.NewPoisson(1),
+				Tau: tau, Iters: 200, Tol: 1e-5, Seed: cfg.Seed, Threads: cfg.Threads})
+			if err != nil {
+				return nil, err
+			}
+			m := evalEmb(e)
+			rows = append(rows, SweepRow{Dataset: name, Param: "tau", Value: float64(tau), Metric: m})
+			printed = append(printed, []string{fmt.Sprintf("%d", tau), fmt.Sprintf("%.3f", m)})
+		}
+		printTable(cfg.Out, []string{"tau", metricName}, printed)
+	}
+	return rows, nil
+}

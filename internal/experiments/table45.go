@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gebe/internal/eval"
+	"gebe/internal/gen"
+)
+
+// Table4Row is one (method, dataset) recommendation result.
+type Table4Row struct {
+	Method, Dataset string
+	F1, NDCG, MRR   float64
+	OK              bool
+}
+
+// Table4 reproduces the paper's Table 4: top-N (N=10) recommendation on
+// the five weighted stand-ins, reporting F1, NDCG and MRR per method.
+func Table4(cfg Config) ([]Table4Row, error) {
+	cfg = cfg.withDefaults()
+	const n = 10
+	names := sortedNames(cfg, gen.WeightedNames())
+	specs := Methods(cfg)
+	var rows []Table4Row
+	for _, name := range names {
+		ds, err := gen.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		prep, err := prepare(ds, cfg.Seed, true)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(cfg.Out, "\n== Table 4: top-%d recommendation on %s (%v) ==\n", n, name, prep.train.Stats())
+		var printed [][]string
+		for _, spec := range specs {
+			u, v, elapsed, ok := timedRun(spec, prep.train, cfg.TimeBudget)
+			row := Table4Row{Method: spec.Name, Dataset: name, OK: ok}
+			if ok {
+				res := eval.TopN(prep.train, prep.test, u, v, n, cfg.Threads)
+				row.F1, row.NDCG, row.MRR = res.F1, res.NDCG, res.MRR
+			}
+			rows = append(rows, row)
+			printed = append(printed, []string{
+				spec.Name,
+				fmtCell(row.F1, ok), fmtCell(row.NDCG, ok), fmtCell(row.MRR, ok),
+				fmt.Sprintf("%.1fs", elapsed.Seconds()),
+			})
+		}
+		printTable(cfg.Out, []string{"Method", "F1@10", "NDCG@10", "MRR@10", "time"}, printed)
+	}
+	return rows, nil
+}
+
+// Table5Row is one (method, dataset) link-prediction result.
+type Table5Row struct {
+	Method, Dataset string
+	AUCROC, AUCPR   float64
+	OK              bool
+}
+
+// Table5 reproduces the paper's Table 5: link prediction on the five
+// unweighted stand-ins with a logistic-regression classifier over
+// concatenated embeddings, reporting AUC-ROC and AUC-PR.
+func Table5(cfg Config) ([]Table5Row, error) {
+	cfg = cfg.withDefaults()
+	names := sortedNames(cfg, gen.UnweightedNames())
+	specs := Methods(cfg)
+	var rows []Table5Row
+	for _, name := range names {
+		ds, err := gen.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		prep, err := prepare(ds, cfg.Seed, false)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(cfg.Out, "\n== Table 5: link prediction on %s (%v) ==\n", name, prep.train.Stats())
+		var printed [][]string
+		for _, spec := range specs {
+			u, v, elapsed, ok := timedRun(spec, prep.train, cfg.TimeBudget)
+			row := Table5Row{Method: spec.Name, Dataset: name, OK: ok}
+			if ok {
+				res, err := eval.LinkPred(prep.full, prep.train, prep.test, u, v,
+					eval.LinkPredOptions{Seed: cfg.Seed + 17, Features: cfg.LPFeatures})
+				if err != nil {
+					row.OK = false
+				} else {
+					row.AUCROC, row.AUCPR = res.AUCROC, res.AUCPR
+				}
+			}
+			rows = append(rows, row)
+			printed = append(printed, []string{
+				spec.Name,
+				fmtCell(row.AUCROC, row.OK), fmtCell(row.AUCPR, row.OK),
+				fmt.Sprintf("%.1fs", elapsed.Seconds()),
+			})
+		}
+		printTable(cfg.Out, []string{"Method", "AUC-ROC", "AUC-PR", "time"}, printed)
+	}
+	return rows, nil
+}

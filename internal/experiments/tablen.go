@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gebe/internal/eval"
+	"gebe/internal/gen"
+)
+
+// TableNRow is one (method, dataset, N) recommendation result — the
+// varying-N study the paper reports in its technical-report appendix
+// (N ∈ {1, 5, 10, 20, 30}).
+type TableNRow struct {
+	Method, Dataset string
+	N               int
+	F1, NDCG, MRR   float64
+	OK              bool
+}
+
+// TableN runs the appendix experiment: top-N recommendation at several
+// cutoffs. To keep the sweep affordable it embeds each method once per
+// dataset and re-ranks for every N.
+func TableN(cfg Config, ns []int) ([]TableNRow, error) {
+	cfg = cfg.withDefaults()
+	if len(ns) == 0 {
+		ns = []int{1, 5, 10, 20, 30}
+	}
+	names := sortedNames(cfg, gen.WeightedNames())
+	specs := Methods(cfg)
+	var rows []TableNRow
+	for _, name := range names {
+		ds, err := gen.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		prep, err := prepare(ds, cfg.Seed, true)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(cfg.Out, "\n== Appendix: top-N sweep on %s (%v) ==\n", name, prep.train.Stats())
+		var printed [][]string
+		for _, spec := range specs {
+			u, v, _, ok := timedRun(spec, prep.train, cfg.TimeBudget)
+			line := []string{spec.Name}
+			for _, n := range ns {
+				row := TableNRow{Method: spec.Name, Dataset: name, N: n, OK: ok}
+				if ok {
+					res := eval.TopN(prep.train, prep.test, u, v, n, cfg.Threads)
+					row.F1, row.NDCG, row.MRR = res.F1, res.NDCG, res.MRR
+				}
+				rows = append(rows, row)
+				line = append(line, fmtCell(row.F1, ok))
+			}
+			printed = append(printed, line)
+		}
+		header := []string{"Method"}
+		for _, n := range ns {
+			header = append(header, fmt.Sprintf("F1@%d", n))
+		}
+		printTable(cfg.Out, header, printed)
+	}
+	return rows, nil
+}

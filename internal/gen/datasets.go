@@ -1,0 +1,111 @@
+package gen
+
+import (
+	"fmt"
+
+	"gebe/internal/bigraph"
+)
+
+// Dataset describes one of the ten stand-ins for the paper's real
+// datasets (Table 3). Sizes are scaled down ~3×–10000× so the whole
+// benchmark suite runs on a single core in minutes; |U|:|V| ratio, weightedness, and
+// degree skew follow the originals. See DESIGN.md §3 for the
+// substitution rationale.
+type Dataset struct {
+	// Name matches the paper's dataset name, lower-cased.
+	Name string
+	// Weighted mirrors the original's type column; per the paper's
+	// protocol, weighted graphs are used for top-N recommendation and
+	// unweighted ones for link prediction.
+	Weighted bool
+	// CoreK is the k-core applied before recommendation experiments. The
+	// paper uses the 10-core; stand-ins whose (scaled) average degree
+	// cannot support a 10-core use a proportionally smaller core.
+	CoreK int
+	// NU, NV, NE are the generated sizes.
+	NU, NV, NE int
+	// Clusters/Skew/CrossRate parameterize the latent-factor generator.
+	Clusters  int
+	Skew      float64
+	CrossRate float64
+	// PaperNU, PaperNV, PaperNE record the original sizes from Table 3.
+	PaperNU, PaperNV, PaperNE int
+}
+
+// Build generates the stand-in graph deterministically from the seed.
+func (d Dataset) Build(seed uint64) (*bigraph.Graph, error) {
+	g, err := LatentFactor(LFConfig{
+		NU: d.NU, NV: d.NV, NE: d.NE,
+		Clusters: d.Clusters, Skew: d.Skew, CrossRate: d.CrossRate,
+		Weighted: d.Weighted, MinDegree: 2, Seed: seed ^ hashName(d.Name),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("gen: building %s: %w", d.Name, err)
+	}
+	return g, nil
+}
+
+func hashName(s string) uint64 {
+	var h uint64 = 1469598103934665603 // FNV-1a
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Datasets returns the ten stand-ins in the order of the paper's Table 3.
+func Datasets() []Dataset {
+	return []Dataset{
+		{Name: "dblp", Weighted: true, CoreK: 3,
+			NU: 1500, NV: 400, NE: 9000, Clusters: 20, Skew: 0.7, CrossRate: 0.2,
+			PaperNU: 6001, PaperNV: 1308, PaperNE: 29256},
+		{Name: "wikipedia", Weighted: false, CoreK: 3,
+			NU: 3000, NV: 700, NE: 13000, Clusters: 25, Skew: 0.8, CrossRate: 0.2,
+			PaperNU: 15000, PaperNV: 3214, PaperNE: 64095},
+		{Name: "pinterest", Weighted: false, CoreK: 5,
+			NU: 4000, NV: 720, NE: 40000, Clusters: 30, Skew: 0.7, CrossRate: 0.25,
+			PaperNU: 55187, PaperNV: 9916, PaperNE: 1500809},
+		{Name: "yelp", Weighted: false, CoreK: 5,
+			NU: 2300, NV: 2700, NE: 40000, Clusters: 30, Skew: 0.7, CrossRate: 0.25,
+			PaperNU: 31668, PaperNV: 38048, PaperNE: 1561406},
+		{Name: "movielens", Weighted: true, CoreK: 10,
+			NU: 2500, NV: 400, NE: 50000, Clusters: 18, Skew: 0.6, CrossRate: 0.25,
+			PaperNU: 69878, PaperNV: 10677, PaperNE: 10000054},
+		{Name: "lastfm", Weighted: true, CoreK: 5,
+			NU: 4500, NV: 2000, NE: 60000, Clusters: 35, Skew: 0.8, CrossRate: 0.2,
+			PaperNU: 359349, PaperNV: 160168, PaperNE: 17559530},
+		{Name: "mind", Weighted: false, CoreK: 5,
+			NU: 5400, NV: 600, NE: 60000, Clusters: 25, Skew: 0.75, CrossRate: 0.25,
+			PaperNU: 876956, PaperNV: 97509, PaperNE: 18149915},
+		{Name: "netflix", Weighted: true, CoreK: 10,
+			NU: 2400, NV: 90, NE: 55000, Clusters: 12, Skew: 0.6, CrossRate: 0.25,
+			PaperNU: 480189, PaperNV: 17770, PaperNE: 100480507},
+		{Name: "orkut", Weighted: false, CoreK: 3,
+			NU: 5500, NV: 17500, NE: 85000, Clusters: 40, Skew: 0.8, CrossRate: 0.2,
+			PaperNU: 2783196, PaperNV: 8730857, PaperNE: 327037487},
+		{Name: "mag", Weighted: true, CoreK: 5,
+			NU: 9500, NV: 2500, NE: 110000, Clusters: 40, Skew: 0.85, CrossRate: 0.2,
+			PaperNU: 10541560, PaperNV: 2784240, PaperNE: 1095315106},
+	}
+}
+
+// ByName looks up a stand-in dataset by its paper name.
+func ByName(name string) (Dataset, error) {
+	for _, d := range Datasets() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Dataset{}, fmt.Errorf("gen: unknown dataset %q", name)
+}
+
+// WeightedNames returns the five weighted stand-ins (top-N task).
+func WeightedNames() []string {
+	return []string{"dblp", "movielens", "lastfm", "netflix", "mag"}
+}
+
+// UnweightedNames returns the five unweighted stand-ins (link prediction).
+func UnweightedNames() []string {
+	return []string{"wikipedia", "pinterest", "yelp", "mind", "orkut"}
+}

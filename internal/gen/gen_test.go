@@ -1,0 +1,183 @@
+package gen
+
+import (
+	"testing"
+
+	"gebe/internal/bigraph"
+)
+
+func TestERBasics(t *testing.T) {
+	g, err := ER(50, 30, 200, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NU != 50 || g.NV != 30 || g.NumEdges() != 200 {
+		t.Fatalf("shape: %v", g.Stats())
+	}
+	if g.Weighted {
+		t.Error("unweighted ER flagged weighted")
+	}
+	// No duplicate edges.
+	seen := map[int64]bool{}
+	for _, e := range g.Edges {
+		key := bigraph.PackEdge(e.U, e.V)
+		if seen[key] {
+			t.Fatalf("duplicate edge (%d,%d)", e.U, e.V)
+		}
+		seen[key] = true
+	}
+}
+
+func TestERWeighted(t *testing.T) {
+	g, err := ER(20, 20, 100, true, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyAbove1 := false
+	for _, e := range g.Edges {
+		if e.W < 1 || e.W > 5 {
+			t.Fatalf("weight %v outside [1,5]", e.W)
+		}
+		if e.W > 1 {
+			anyAbove1 = true
+		}
+	}
+	if !anyAbove1 {
+		t.Error("no weight above 1 in 100 draws is implausible")
+	}
+}
+
+func TestERErrors(t *testing.T) {
+	if _, err := ER(0, 5, 1, false, 1); err == nil {
+		t.Error("accepted zero nodes")
+	}
+	if _, err := ER(2, 2, 5, false, 1); err == nil {
+		t.Error("accepted more edges than the biclique holds")
+	}
+}
+
+func TestERDeterministic(t *testing.T) {
+	a, _ := ER(30, 30, 100, true, 42)
+	b, _ := ER(30, 30, 100, true, 42)
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatal("ER not deterministic")
+		}
+	}
+}
+
+func TestLatentFactorBasics(t *testing.T) {
+	g, err := LatentFactor(LFConfig{
+		NU: 200, NV: 100, NE: 2000, Clusters: 5, Skew: 0.7,
+		CrossRate: 0.2, Weighted: true, MinDegree: 2, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NU != 200 || g.NV != 100 || g.NumEdges() != 2000 {
+		t.Fatalf("shape: %v", g.Stats())
+	}
+	// Degree floor honored.
+	for u, d := range g.UDegrees() {
+		if d < 2 {
+			t.Errorf("u%d degree %d < MinDegree", u, d)
+		}
+	}
+	for v, d := range g.VDegrees() {
+		if d < 2 {
+			t.Errorf("v%d degree %d < MinDegree", v, d)
+		}
+	}
+	if !g.Weighted {
+		t.Error("weighted LF graph not flagged")
+	}
+}
+
+func TestLatentFactorSkewedDegrees(t *testing.T) {
+	g, err := LatentFactor(LFConfig{
+		NU: 500, NV: 300, NE: 5000, Clusters: 8, Skew: 0.9,
+		CrossRate: 0.2, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.Stats()
+	// A Zipf-skewed graph's max degree far exceeds its average.
+	if float64(s.MaxUDeg) < 3*s.AvgUDeg {
+		t.Errorf("degrees not skewed: max %d avg %.1f", s.MaxUDeg, s.AvgUDeg)
+	}
+}
+
+func TestLatentFactorValidation(t *testing.T) {
+	bad := []LFConfig{
+		{NU: 0, NV: 10, NE: 10, Clusters: 2},
+		{NU: 10, NV: 10, NE: 10, Clusters: 0},
+		{NU: 10, NV: 10, NE: 10, Clusters: 2, CrossRate: 1.5},
+		{NU: 10, NV: 10, NE: 10, Clusters: 2, MinDegree: 5},
+	}
+	for i, cfg := range bad {
+		if _, err := LatentFactor(cfg); err == nil {
+			t.Errorf("case %d: accepted invalid config %+v", i, cfg)
+		}
+	}
+}
+
+func TestDatasetsRegistry(t *testing.T) {
+	ds := Datasets()
+	if len(ds) != 10 {
+		t.Fatalf("want 10 datasets, got %d", len(ds))
+	}
+	weighted, unweighted := 0, 0
+	for _, d := range ds {
+		if d.Weighted {
+			weighted++
+		} else {
+			unweighted++
+		}
+		if d.NU <= 0 || d.NV <= 0 || d.NE <= 0 {
+			t.Errorf("%s: bad sizes", d.Name)
+		}
+		if d.PaperNE <= d.NE {
+			t.Errorf("%s: stand-in not smaller than the original", d.Name)
+		}
+	}
+	if weighted != 5 || unweighted != 5 {
+		t.Errorf("want 5 weighted + 5 unweighted, got %d + %d", weighted, unweighted)
+	}
+	if _, err := ByName("movielens"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if len(WeightedNames())+len(UnweightedNames()) != 10 {
+		t.Error("task name lists incomplete")
+	}
+}
+
+func TestDatasetBuildSmall(t *testing.T) {
+	d, err := ByName("dblp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := d.Build(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NU != d.NU || g.NV != d.NV || g.NumEdges() != d.NE {
+		t.Errorf("built %v, config %+v", g.Stats(), d)
+	}
+	if g.Weighted != d.Weighted {
+		t.Error("weighted flag mismatch")
+	}
+	// Deterministic.
+	g2, _ := d.Build(1)
+	if g2.Edges[0] != g.Edges[0] || g2.Edges[len(g2.Edges)-1] != g.Edges[len(g.Edges)-1] {
+		t.Error("Build not deterministic")
+	}
+	// Different seed differs.
+	g3, _ := d.Build(2)
+	if g3.Edges[0] == g.Edges[0] && g3.Edges[1] == g.Edges[1] && g3.Edges[2] == g.Edges[2] {
+		t.Error("different seeds produced the same graph")
+	}
+}

@@ -1,0 +1,265 @@
+// Package linalg implements the iterative eigenvalue/singular-value
+// machinery GEBE needs: power iteration for the spectral norm, block
+// Krylov subspace iteration (KSI) for top-k eigenpairs of an implicitly
+// defined symmetric operator, and randomized block-Krylov SVD for sparse
+// matrices (Musco & Musco, NeurIPS 2015 — the algorithm the paper cites
+// as reference [47] and uses in Line 1 of Algorithm 2).
+package linalg
+
+import (
+	"math"
+	"math/rand/v2"
+	"time"
+
+	"gebe/internal/budget"
+	"gebe/internal/dense"
+	"gebe/internal/sparse"
+)
+
+// Operator is a symmetric linear operator applied to dense blocks. GEBE's
+// H = Σ ω(ℓ)(WWᵀ)^ℓ implements this without ever materializing H.
+type Operator interface {
+	// Dim returns the (square) dimension of the operator.
+	Dim() int
+	// Apply returns the product of the operator with a Dim()-by-k block.
+	Apply(x *dense.Matrix) *dense.Matrix
+}
+
+// NewRand returns a deterministic PCG-backed generator for the seed.
+func NewRand(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}
+
+// TopSingularValue estimates σ₁(W) by power iteration on WᵀW. iters=0
+// selects a default that is plenty for the 2-digit accuracy the spectral
+// scaling needs.
+func TopSingularValue(w *sparse.CSR, iters int, seed uint64, threads int) float64 {
+	if w.NNZ() == 0 {
+		return 0
+	}
+	if iters <= 0 {
+		iters = 50
+	}
+	rng := NewRand(seed)
+	v := make([]float64, w.Cols)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	normalize(v)
+	sigma := 0.0
+	for it := 0; it < iters; it++ {
+		wv := w.MulVec(v)
+		v = w.TMulVec(wv)
+		n := normalize(v)
+		if n == 0 {
+			return 0 // started orthogonal to the range; caller's W is degenerate
+		}
+		next := math.Sqrt(n)
+		if it > 4 && math.Abs(next-sigma) < 1e-9*next {
+			return next
+		}
+		sigma = next
+	}
+	return sigma
+}
+
+func normalize(v []float64) float64 {
+	n := dense.Norm2(v)
+	if n == 0 {
+		return 0
+	}
+	inv := 1 / n
+	for i := range v {
+		v[i] *= inv
+	}
+	return n
+}
+
+// KSIResult carries the output of block Krylov subspace iteration.
+type KSIResult struct {
+	// Vectors holds the approximate top-k eigenvectors as columns (n×k).
+	Vectors *dense.Matrix
+	// Values holds the matching eigenvalue estimates, descending.
+	Values []float64
+	// Sweeps is the number of KSI sweeps actually performed.
+	Sweeps int
+	// Converged reports whether the subspace-change tolerance was met
+	// before the sweep budget ran out.
+	Converged bool
+	// DeadlineHit reports that the iteration stopped early because a
+	// cooperative deadline passed (KSIDeadline only).
+	DeadlineHit bool
+}
+
+// KSI runs block Krylov subspace iteration (simultaneous orthogonal
+// iteration) on op: starting from a random semi-unitary n×k block Z, it
+// repeats Z, R ← QR(op·Z) — the loop of the paper's Algorithm 1 — until
+// the spanned subspace stabilizes or t sweeps have run. Per §4.1 the
+// diagonal of R converges to the top-k eigenvalues; because that inner
+// rotation converges much more slowly than the subspace itself (rate
+// λ_{j+1}/λ_j between neighbours), the extraction is finished with a
+// single Rayleigh–Ritz rotation (Rutishauser's classic refinement): it
+// costs one extra operator application and makes the returned eigenpairs
+// exact within the converged subspace.
+//
+// tol is the relative subspace-residual threshold; 0 selects 1e-7.
+func KSI(op Operator, k, t int, tol float64, seed uint64) KSIResult {
+	return KSIDeadline(op, k, t, tol, seed, time.Time{})
+}
+
+// KSIDeadline is KSI with a cooperative deadline checked once per sweep;
+// a zero deadline never fires. When the deadline passes mid-iteration the
+// current (partially converged) subspace is still Rayleigh–Ritz-refined
+// and returned, with DeadlineHit set so callers can decide whether a
+// partial result counts.
+func KSIDeadline(op Operator, k, t int, tol float64, seed uint64, deadline time.Time) KSIResult {
+	n := op.Dim()
+	if k <= 0 || k > n {
+		panic("linalg: KSI requires 0 < k <= Dim()")
+	}
+	if t <= 0 {
+		t = 200
+	}
+	if tol <= 0 {
+		tol = 1e-7
+	}
+	rng := NewRand(seed)
+	z := dense.Orthonormalize(dense.Random(n, k, rng))
+	res := KSIResult{}
+	for sweep := 1; sweep <= t; sweep++ {
+		q := op.Apply(z)
+		zNew, _ := dense.QR(q)
+		// Subspace change: the part of the new basis outside span(z).
+		p := dense.TMul(z, zNew)      // k×k
+		proj := dense.Mul(z, p)       // n×k
+		diff := dense.Sub(zNew, proj) // residual outside the old span
+		change := diff.FrobeniusNorm() / math.Sqrt(float64(k))
+		z = zNew
+		res.Sweeps = sweep
+		if change < tol {
+			res.Converged = true
+			break
+		}
+		if budget.Exceeded(deadline) {
+			res.DeadlineHit = true
+			break
+		}
+	}
+	// Rayleigh–Ritz: diagonalize the projected operator B = Zᵀ(H·Z) and
+	// rotate Z onto the Ritz vectors. SymEig returns descending order.
+	hz := op.Apply(z)
+	b := dense.TMul(z, hz)
+	vals, c := dense.SymEig(b)
+	for i := range vals {
+		if vals[i] < 0 {
+			vals[i] = 0 // H is PSD; clamp round-off
+		}
+	}
+	res.Vectors = dense.Mul(z, c)
+	res.Values = vals
+	return res
+}
+
+// RSVDResult carries the randomized SVD output for a sparse matrix W.
+type RSVDResult struct {
+	// U holds approximate top-k left singular vectors (Rows(W)×k).
+	U *dense.Matrix
+	// Sigma holds the matching singular value estimates, descending.
+	Sigma []float64
+	// KrylovDim is the dimension of the Krylov space actually used.
+	KrylovDim int
+	// Iterations is the number of block-Krylov expansion steps q.
+	Iterations int
+}
+
+// RandomizedSVD computes approximate top-k left singular vectors and
+// singular values of the sparse matrix w using the randomized block
+// Krylov method. eps is the relative spectral error target from Theorem 1
+// of Musco–Musco: the iteration count grows as log(n)/√eps. threads caps
+// SpMM parallelism.
+//
+// The Krylov basis K = [Π, (WWᵀ)Π, …, (WWᵀ)^q Π] with Π = orth(W·G) is
+// orthonormalized blockwise and then globally; the small projected
+// operator Kᵀ(WWᵀ)K is solved exactly by Jacobi.
+func RandomizedSVD(w *sparse.CSR, k int, eps float64, seed uint64, threads int) RSVDResult {
+	minDim := w.Rows
+	if w.Cols < minDim {
+		minDim = w.Cols
+	}
+	if k <= 0 || k > minDim {
+		panic("linalg: RandomizedSVD requires 0 < k <= min(rows, cols)")
+	}
+	if eps <= 0 {
+		eps = 0.1
+	}
+	// Block size with modest oversampling; cap at the small dimension.
+	b := k + 8
+	if b > minDim {
+		b = minDim
+	}
+	// q per Musco–Musco: Θ(log n / sqrt(eps)); small constants suffice in
+	// practice. The total Krylov dimension (q+1)·b must stay tractable for
+	// the global QR and cannot exceed the row count (thin QR needs rows ≥
+	// cols). When even a 2-block basis does not fit — tiny, near-square
+	// matrices — fall back to a single block capped at the row count; with
+	// b ≥ rank that single block already spans range(W).
+	q := int(math.Ceil(math.Log(float64(w.Cols)+2) / (4 * math.Sqrt(eps))))
+	if q < 2 {
+		q = 2
+	}
+	maxKrylov := 6 * b
+	if maxKrylov > w.Rows {
+		maxKrylov = w.Rows
+	}
+	for q > 1 && (q+1)*b > maxKrylov {
+		q--
+	}
+	if (q+1)*b > maxKrylov {
+		// Prefer shrinking the block over dropping the power step: one
+		// Gram application buys far more accuracy than extra oversampling.
+		b = maxKrylov / 2
+		if b < k {
+			b = k // maxKrylov = w.Rows ≥ minDim ≥ k, so b=k always fits q=0
+			q = maxKrylov/b - 1
+			if q < 0 {
+				q = 0
+			}
+		}
+	}
+	rng := NewRand(seed)
+	g := dense.Random(w.Cols, b, rng)
+	block := dense.Orthonormalize(w.MulDense(g, threads))
+	// Assemble the Krylov matrix K (Rows×(q+1)b), blockwise orthonormalized.
+	kry := dense.New(w.Rows, (q+1)*b)
+	copyBlock(kry, block, 0)
+	for i := 1; i <= q; i++ {
+		block = dense.Orthonormalize(applyGram(w, block, threads))
+		copyBlock(kry, block, i*b)
+	}
+	kq := dense.Orthonormalize(kry)
+	// Project: M = Kᵀ (WWᵀ) K = (WᵀK)ᵀ (WᵀK).
+	wtk := w.TMulDense(kq, threads)
+	m := dense.TMul(wtk, wtk)
+	vals, vecs := dense.SymEig(m)
+	u := dense.Mul(kq, vecs.SliceCols(0, k))
+	sigma := make([]float64, k)
+	for i := 0; i < k; i++ {
+		v := vals[i]
+		if v < 0 {
+			v = 0
+		}
+		sigma[i] = math.Sqrt(v)
+	}
+	return RSVDResult{U: u, Sigma: sigma, KrylovDim: kq.Cols, Iterations: q}
+}
+
+// applyGram returns (W Wᵀ)·x using two sparse products.
+func applyGram(w *sparse.CSR, x *dense.Matrix, threads int) *dense.Matrix {
+	return w.MulDense(w.TMulDense(x, threads), threads)
+}
+
+func copyBlock(dst, src *dense.Matrix, colOff int) {
+	for i := 0; i < src.Rows; i++ {
+		copy(dst.Row(i)[colOff:colOff+src.Cols], src.Row(i))
+	}
+}

@@ -1,0 +1,109 @@
+// Package pmf provides the probability mass functions the paper uses to
+// weight path lengths when building the multi-hop matrix H (§2.4):
+// Uniform (uniform high-order proximity), Geometric (personalized
+// PageRank) and Poisson (heat kernel PageRank).
+package pmf
+
+import (
+	"fmt"
+	"math"
+)
+
+// PMF assigns an importance weight ω(ℓ) to hop count ℓ ≥ 0.
+type PMF interface {
+	// Weight returns ω(ℓ).
+	Weight(ell int) float64
+	// Name returns a short identifier ("uniform", "geometric", "poisson").
+	Name() string
+}
+
+// Uniform is the PMF of Eq. (6): ω(ℓ) = 1/τ for 0 ≤ ℓ ≤ τ. Note the paper
+// divides by τ, not τ+1, even though ℓ ranges over τ+1 values; we follow
+// the paper exactly.
+type Uniform struct {
+	// Tau is the maximum path half-length considered.
+	Tau int
+}
+
+// NewUniform returns the Uniform PMF, validating τ ≥ 1.
+func NewUniform(tau int) Uniform {
+	if tau < 1 {
+		panic(fmt.Sprintf("pmf: uniform requires tau >= 1, got %d", tau))
+	}
+	return Uniform{Tau: tau}
+}
+
+// Weight implements PMF.
+func (u Uniform) Weight(ell int) float64 {
+	if ell < 0 || ell > u.Tau {
+		return 0
+	}
+	return 1 / float64(u.Tau)
+}
+
+// Name implements PMF.
+func (Uniform) Name() string { return "uniform" }
+
+// Geometric is the PMF of Eq. (7): ω(ℓ) = α(1−α)^ℓ, the decay used by
+// personalized PageRank.
+type Geometric struct {
+	// Alpha is the restart probability, in (0,1).
+	Alpha float64
+}
+
+// NewGeometric returns the Geometric PMF, validating α ∈ (0,1).
+func NewGeometric(alpha float64) Geometric {
+	if alpha <= 0 || alpha >= 1 {
+		panic(fmt.Sprintf("pmf: geometric requires alpha in (0,1), got %g", alpha))
+	}
+	return Geometric{Alpha: alpha}
+}
+
+// Weight implements PMF.
+func (g Geometric) Weight(ell int) float64 {
+	if ell < 0 {
+		return 0
+	}
+	return g.Alpha * math.Pow(1-g.Alpha, float64(ell))
+}
+
+// Name implements PMF.
+func (Geometric) Name() string { return "geometric" }
+
+// Poisson is the PMF of Eq. (8): ω(ℓ) = e^{−λ} λ^ℓ / ℓ!, the weighting of
+// heat kernel PageRank. This is the instantiation GEBE^p specializes.
+type Poisson struct {
+	// Lambda is the (positive) rate parameter.
+	Lambda float64
+}
+
+// NewPoisson returns the Poisson PMF, validating λ > 0.
+func NewPoisson(lambda float64) Poisson {
+	if lambda <= 0 {
+		panic(fmt.Sprintf("pmf: poisson requires lambda > 0, got %g", lambda))
+	}
+	return Poisson{Lambda: lambda}
+}
+
+// Weight implements PMF. Computed in log space to stay finite for large ℓ.
+func (p Poisson) Weight(ell int) float64 {
+	if ell < 0 {
+		return 0
+	}
+	lg, _ := math.Lgamma(float64(ell) + 1)
+	return math.Exp(-p.Lambda + float64(ell)*math.Log(p.Lambda) - lg)
+}
+
+// Name implements PMF.
+func (Poisson) Name() string { return "poisson" }
+
+// TruncationMass returns Σ_{ℓ=0}^{tau} ω(ℓ) — how much probability mass a
+// truncation at tau retains. Useful for choosing τ for the Geometric and
+// Poisson instantiations, whose support is infinite.
+func TruncationMass(w PMF, tau int) float64 {
+	var s float64
+	for ell := 0; ell <= tau; ell++ {
+		s += w.Weight(ell)
+	}
+	return s
+}

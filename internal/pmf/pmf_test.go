@@ -1,0 +1,123 @@
+package pmf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformWeights(t *testing.T) {
+	u := NewUniform(4)
+	for ell := 0; ell <= 4; ell++ {
+		if got := u.Weight(ell); got != 0.25 {
+			t.Errorf("Weight(%d)=%v want 0.25", ell, got)
+		}
+	}
+	if u.Weight(5) != 0 || u.Weight(-1) != 0 {
+		t.Error("weights outside [0,tau] must be zero")
+	}
+}
+
+func TestUniformPanicsOnBadTau(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewUniform(0)
+}
+
+func TestGeometricWeights(t *testing.T) {
+	g := NewGeometric(0.5)
+	want := []float64{0.5, 0.25, 0.125, 0.0625}
+	for ell, w := range want {
+		if got := g.Weight(ell); math.Abs(got-w) > 1e-15 {
+			t.Errorf("Weight(%d)=%v want %v", ell, got, w)
+		}
+	}
+	if g.Weight(-1) != 0 {
+		t.Error("negative ell must weigh zero")
+	}
+}
+
+func TestGeometricPanicsOnBadAlpha(t *testing.T) {
+	for _, a := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("alpha=%v: expected panic", a)
+				}
+			}()
+			NewGeometric(a)
+		}()
+	}
+}
+
+func TestPoissonWeights(t *testing.T) {
+	p := NewPoisson(2)
+	// ω(0)=e⁻², ω(1)=2e⁻², ω(2)=2e⁻², ω(3)=4/3·e⁻².
+	e2 := math.Exp(-2)
+	want := []float64{e2, 2 * e2, 2 * e2, 4.0 / 3.0 * e2}
+	for ell, w := range want {
+		if got := p.Weight(ell); math.Abs(got-w) > 1e-15 {
+			t.Errorf("Weight(%d)=%v want %v", ell, got, w)
+		}
+	}
+}
+
+func TestPoissonLargeEllFinite(t *testing.T) {
+	p := NewPoisson(1)
+	w := p.Weight(500)
+	if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+		t.Errorf("Weight(500)=%v not a tiny non-negative number", w)
+	}
+	if w > 1e-300 {
+		t.Errorf("Weight(500)=%v implausibly large", w)
+	}
+}
+
+func TestPoissonPanicsOnBadLambda(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPoisson(0)
+}
+
+func TestTruncationMass(t *testing.T) {
+	// Geometric and Poisson sum to ~1 over a long horizon.
+	if m := TruncationMass(NewGeometric(0.5), 60); math.Abs(m-1) > 1e-12 {
+		t.Errorf("geometric mass=%v", m)
+	}
+	if m := TruncationMass(NewPoisson(1), 60); math.Abs(m-1) > 1e-12 {
+		t.Errorf("poisson mass=%v", m)
+	}
+	// Uniform sums to (τ+1)/τ per the paper's Eq. (6) convention.
+	if m := TruncationMass(NewUniform(5), 5); math.Abs(m-1.2) > 1e-12 {
+		t.Errorf("uniform mass=%v want 1.2", m)
+	}
+}
+
+// Property: all instantiations are non-negative everywhere and
+// non-increasing beyond their mode.
+func TestPropertyNonNegative(t *testing.T) {
+	f := func(seedEll uint8, lam uint8) bool {
+		ell := int(seedEll % 64)
+		p := NewPoisson(float64(lam%9) + 0.5)
+		g := NewGeometric(0.3)
+		u := NewUniform(20)
+		return p.Weight(ell) >= 0 && g.Weight(ell) >= 0 && u.Weight(ell) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNames(t *testing.T) {
+	if NewUniform(1).Name() != "uniform" ||
+		NewGeometric(0.5).Name() != "geometric" ||
+		NewPoisson(1).Name() != "poisson" {
+		t.Error("wrong PMF names")
+	}
+}

@@ -1,0 +1,112 @@
+// Package sampling provides the discrete sampling primitives shared by
+// the synthetic graph generators and the random-walk / SGNS baselines:
+// Walker alias tables for O(1) weighted sampling and Zipf weight vectors
+// for skewed degree distributions.
+package sampling
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Alias is a Walker alias table over n outcomes; Sample runs in O(1).
+type Alias struct {
+	prob  []float64
+	alias []int32
+}
+
+// NewAlias builds an alias table for the given non-negative weights.
+// At least one weight must be positive.
+func NewAlias(weights []float64) (*Alias, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("sampling: empty weight vector")
+	}
+	var total float64
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("sampling: weight[%d]=%v invalid", i, w)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("sampling: all weights zero")
+	}
+	a := &Alias{prob: make([]float64, n), alias: make([]int32, n)}
+	// Scale to mean 1 and split into small/large worklists.
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		a.prob[i] = 1
+	}
+	for _, i := range small {
+		a.prob[i] = 1 // numerical leftovers
+	}
+	return a, nil
+}
+
+// MustAlias is NewAlias that panics on error, for weights the caller
+// constructed itself.
+func MustAlias(weights []float64) *Alias {
+	a, err := NewAlias(weights)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Sample draws one outcome.
+func (a *Alias) Sample(rng *rand.Rand) int {
+	i := rng.IntN(len(a.prob))
+	if rng.Float64() < a.prob[i] {
+		return i
+	}
+	return int(a.alias[i])
+}
+
+// N returns the number of outcomes.
+func (a *Alias) N() int { return len(a.prob) }
+
+// ZipfWeights returns n weights w_i ∝ (i+1)^(-s); s=0 gives uniform
+// weights, larger s gives heavier skew — the scale-free degree shape of
+// real bipartite graphs (§2.2 cites [3]).
+func ZipfWeights(n int, s float64) []float64 {
+	if n <= 0 {
+		panic(fmt.Sprintf("sampling: ZipfWeights n=%d", n))
+	}
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = math.Pow(float64(i+1), -s)
+	}
+	return w
+}
+
+// Shuffled returns a shuffled copy of the integers [0,n).
+func Shuffled(n int, rng *rand.Rand) []int {
+	p := rng.Perm(n)
+	return p
+}

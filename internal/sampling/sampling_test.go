@@ -1,0 +1,119 @@
+package sampling
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAliasErrors(t *testing.T) {
+	if _, err := NewAlias(nil); err == nil {
+		t.Error("empty weights accepted")
+	}
+	if _, err := NewAlias([]float64{0, 0}); err == nil {
+		t.Error("all-zero weights accepted")
+	}
+	if _, err := NewAlias([]float64{1, -1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := NewAlias([]float64{math.NaN()}); err == nil {
+		t.Error("NaN weight accepted")
+	}
+}
+
+func TestAliasDistribution(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	a := MustAlias(weights)
+	rng := rand.New(rand.NewPCG(1, 2))
+	const n = 200000
+	counts := make([]int, 4)
+	for i := 0; i < n; i++ {
+		counts[a.Sample(rng)]++
+	}
+	for i, w := range weights {
+		want := w / 10 * n
+		if math.Abs(float64(counts[i])-want) > 0.03*want {
+			t.Errorf("outcome %d: count %d want ~%.0f", i, counts[i], want)
+		}
+	}
+}
+
+func TestAliasZeroWeightNeverSampled(t *testing.T) {
+	a := MustAlias([]float64{0, 1, 0, 2})
+	rng := rand.New(rand.NewPCG(3, 4))
+	for i := 0; i < 10000; i++ {
+		s := a.Sample(rng)
+		if s == 0 || s == 2 {
+			t.Fatalf("sampled zero-weight outcome %d", s)
+		}
+	}
+}
+
+func TestAliasSingleOutcome(t *testing.T) {
+	a := MustAlias([]float64{7})
+	rng := rand.New(rand.NewPCG(5, 6))
+	for i := 0; i < 100; i++ {
+		if a.Sample(rng) != 0 {
+			t.Fatal("single-outcome table sampled nonzero")
+		}
+	}
+	if a.N() != 1 {
+		t.Errorf("N()=%d", a.N())
+	}
+}
+
+// Property: every sampled index is valid and has a positive weight.
+func TestAliasPropertyValidSamples(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed+1))
+		n := 1 + int(seed%30)
+		w := make([]float64, n)
+		anyPos := false
+		for i := range w {
+			w[i] = float64(rng.IntN(4))
+			if w[i] > 0 {
+				anyPos = true
+			}
+		}
+		if !anyPos {
+			w[0] = 1
+		}
+		a := MustAlias(w)
+		for i := 0; i < 200; i++ {
+			s := a.Sample(rng)
+			if s < 0 || s >= n || w[s] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZipfWeights(t *testing.T) {
+	w := ZipfWeights(4, 1)
+	want := []float64{1, 0.5, 1.0 / 3, 0.25}
+	for i := range want {
+		if math.Abs(w[i]-want[i]) > 1e-15 {
+			t.Errorf("w[%d]=%v want %v", i, w[i], want[i])
+		}
+	}
+	u := ZipfWeights(3, 0)
+	for _, x := range u {
+		if x != 1 {
+			t.Errorf("s=0 should be uniform, got %v", u)
+		}
+	}
+}
+
+func TestZipfPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ZipfWeights(0, 1)
+}

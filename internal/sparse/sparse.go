@@ -1,0 +1,335 @@
+// Package sparse implements compressed sparse row (CSR) matrices with the
+// kernels GEBE's solvers are built on: sparse-times-dense products for the
+// weight matrix W and its transpose, row/column aggregates, and scaling.
+//
+// The representation is immutable after construction: GEBE never mutates
+// W, and immutability lets multiple goroutines share one matrix without
+// synchronization.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"gebe/internal/dense"
+)
+
+// Entry is a coordinate-form (COO) element used to build a CSR matrix.
+type Entry struct {
+	Row, Col int
+	Val      float64
+}
+
+// CSR is a compressed sparse row matrix.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int     // len Rows+1; row i occupies [RowPtr[i], RowPtr[i+1])
+	ColIdx     []int     // len NNZ, column index per stored value
+	Val        []float64 // len NNZ
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// New builds a CSR matrix from coordinate entries. Duplicate (row,col)
+// coordinates are summed. Entries with Val==0 are kept out of the
+// structure. It returns an error (rather than panicking) because entries
+// typically come straight from parsed input files.
+func New(rows, cols int, entries []Entry) (*CSR, error) {
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("sparse: negative dimension %dx%d", rows, cols)
+	}
+	for _, e := range entries {
+		if e.Row < 0 || e.Row >= rows || e.Col < 0 || e.Col >= cols {
+			return nil, fmt.Errorf("sparse: entry (%d,%d) outside %dx%d", e.Row, e.Col, rows, cols)
+		}
+	}
+	// Count per-row entries, bucket, then sort each row by column and
+	// merge duplicates.
+	counts := make([]int, rows+1)
+	for _, e := range entries {
+		counts[e.Row+1]++
+	}
+	for i := 0; i < rows; i++ {
+		counts[i+1] += counts[i]
+	}
+	colIdx := make([]int, len(entries))
+	val := make([]float64, len(entries))
+	next := make([]int, rows)
+	copy(next, counts[:rows])
+	for _, e := range entries {
+		p := next[e.Row]
+		colIdx[p] = e.Col
+		val[p] = e.Val
+		next[e.Row]++
+	}
+	// Sort within each row and compact duplicates/zeros.
+	outPtr := make([]int, rows+1)
+	w := 0
+	for i := 0; i < rows; i++ {
+		lo, hi := counts[i], counts[i+1]
+		row := rowSorter{colIdx[lo:hi], val[lo:hi]}
+		sort.Sort(row)
+		outPtr[i] = w
+		for p := lo; p < hi; {
+			c := colIdx[p]
+			var s float64
+			for p < hi && colIdx[p] == c {
+				s += val[p]
+				p++
+			}
+			if s != 0 {
+				colIdx[w] = c
+				val[w] = s
+				w++
+			}
+		}
+	}
+	outPtr[rows] = w
+	return &CSR{
+		Rows:   rows,
+		Cols:   cols,
+		RowPtr: outPtr,
+		ColIdx: colIdx[:w:w],
+		Val:    val[:w:w],
+	}, nil
+}
+
+type rowSorter struct {
+	idx []int
+	val []float64
+}
+
+func (r rowSorter) Len() int           { return len(r.idx) }
+func (r rowSorter) Less(i, j int) bool { return r.idx[i] < r.idx[j] }
+func (r rowSorter) Swap(i, j int) {
+	r.idx[i], r.idx[j] = r.idx[j], r.idx[i]
+	r.val[i], r.val[j] = r.val[j], r.val[i]
+}
+
+// At returns the (i,j) element (0 if not stored). O(log nnz(row i)).
+func (m *CSR) At(i, j int) float64 {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("sparse: index (%d,%d) out of range %dx%d", i, j, m.Rows, m.Cols))
+	}
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	p := lo + sort.SearchInts(m.ColIdx[lo:hi], j)
+	if p < hi && m.ColIdx[p] == j {
+		return m.Val[p]
+	}
+	return 0
+}
+
+// T returns the transpose as a new CSR matrix.
+func (m *CSR) T() *CSR {
+	counts := make([]int, m.Cols+1)
+	for _, c := range m.ColIdx {
+		counts[c+1]++
+	}
+	for i := 0; i < m.Cols; i++ {
+		counts[i+1] += counts[i]
+	}
+	colIdx := make([]int, m.NNZ())
+	val := make([]float64, m.NNZ())
+	next := make([]int, m.Cols)
+	copy(next, counts[:m.Cols])
+	for i := 0; i < m.Rows; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			c := m.ColIdx[p]
+			q := next[c]
+			colIdx[q] = i
+			val[q] = m.Val[p]
+			next[c]++
+		}
+	}
+	return &CSR{Rows: m.Cols, Cols: m.Rows, RowPtr: counts, ColIdx: colIdx, Val: val}
+}
+
+// Scaled returns a copy of m with every stored value multiplied by s.
+func (m *CSR) Scaled(s float64) *CSR {
+	out := &CSR{Rows: m.Rows, Cols: m.Cols, RowPtr: m.RowPtr, ColIdx: m.ColIdx, Val: make([]float64, len(m.Val))}
+	for i, v := range m.Val {
+		out.Val[i] = s * v
+	}
+	return out
+}
+
+// RowSums returns the per-row sum of stored values (weighted out-degrees).
+func (m *CSR) RowSums() []float64 {
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		var s float64
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			s += m.Val[p]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// ColSums returns the per-column sum of stored values.
+func (m *CSR) ColSums() []float64 {
+	out := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			out[m.ColIdx[p]] += m.Val[p]
+		}
+	}
+	return out
+}
+
+// FrobeniusNormSq returns Σ w².
+func (m *CSR) FrobeniusNormSq() float64 {
+	var s float64
+	for _, v := range m.Val {
+		s += v * v
+	}
+	return s
+}
+
+// ToDense materializes the matrix densely (tests and tiny graphs only).
+func (m *CSR) ToDense() *dense.Matrix {
+	out := dense.New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := out.Row(i)
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			row[m.ColIdx[p]] = m.Val[p]
+		}
+	}
+	return out
+}
+
+// MulDense computes m · b for dense b, sharding output rows across at most
+// threads goroutines (threads <= 1 means sequential). This is the
+// O(|E|·k) kernel at the heart of Algorithm 1.
+func (m *CSR) MulDense(b *dense.Matrix, threads int) *dense.Matrix {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("sparse: MulDense shape mismatch %dx%d * %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	out := dense.New(m.Rows, b.Cols)
+	parallelRows(m.Rows, threads, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			orow := out.Row(i)
+			for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+				w := m.Val[p]
+				brow := b.Row(m.ColIdx[p])
+				for j, bv := range brow {
+					orow[j] += w * bv
+				}
+			}
+		}
+	})
+	return out
+}
+
+// TMulDense computes mᵀ · b without materializing the transpose. The
+// scatter pattern makes naive row-sharding racy, so each worker owns a
+// private accumulator that is reduced at the end; for GEBE's shapes
+// (k ≤ a few hundred) the accumulators are small.
+func (m *CSR) TMulDense(b *dense.Matrix, threads int) *dense.Matrix {
+	if m.Rows != b.Rows {
+		panic(fmt.Sprintf("sparse: TMulDense shape mismatch (%dx%d)ᵀ * %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	nw := workerCount(m.Rows, threads)
+	if nw <= 1 {
+		out := dense.New(m.Cols, b.Cols)
+		m.tMulRange(b, out, 0, m.Rows)
+		return out
+	}
+	partials := make([]*dense.Matrix, nw)
+	var wg sync.WaitGroup
+	chunk := (m.Rows + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, m.Rows)
+		partials[w] = dense.New(m.Cols, b.Cols)
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			m.tMulRange(b, partials[w], lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	out := partials[0]
+	for w := 1; w < nw; w++ {
+		out.AddScaled(1, partials[w])
+	}
+	return out
+}
+
+func (m *CSR) tMulRange(b, out *dense.Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		brow := b.Row(i)
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			w := m.Val[p]
+			orow := out.Row(m.ColIdx[p])
+			for j, bv := range brow {
+				orow[j] += w * bv
+			}
+		}
+	}
+}
+
+// MulVec computes m · x for a dense vector x.
+func (m *CSR) MulVec(x []float64) []float64 {
+	if m.Cols != len(x) {
+		panic(fmt.Sprintf("sparse: MulVec shape mismatch %dx%d * %d", m.Rows, m.Cols, len(x)))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		var s float64
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			s += m.Val[p] * x[m.ColIdx[p]]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// TMulVec computes mᵀ · x.
+func (m *CSR) TMulVec(x []float64) []float64 {
+	if m.Rows != len(x) {
+		panic(fmt.Sprintf("sparse: TMulVec shape mismatch (%dx%d)ᵀ * %d", m.Rows, m.Cols, len(x)))
+	}
+	out := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		xv := x[i]
+		if xv == 0 {
+			continue
+		}
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			out[m.ColIdx[p]] += m.Val[p] * xv
+		}
+	}
+	return out
+}
+
+func workerCount(rows, threads int) int {
+	if threads < 1 {
+		threads = 1
+	}
+	if rows < 4096 { // parallelism not worth the fork/join below this
+		return 1
+	}
+	return threads
+}
+
+func parallelRows(rows, threads int, f func(lo, hi int)) {
+	nw := workerCount(rows, threads)
+	if nw <= 1 {
+		f(0, rows)
+		return
+	}
+	chunk := (rows + nw - 1) / nw
+	var wg sync.WaitGroup
+	for lo := 0; lo < rows; lo += chunk {
+		hi := min(lo+chunk, rows)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,221 @@
+package sparse
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"gebe/internal/dense"
+)
+
+func rng(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, seed+1)) }
+
+func randomCSR(t testing.TB, rows, cols, nnz int, seed uint64) *CSR {
+	r := rng(seed)
+	entries := make([]Entry, nnz)
+	for i := range entries {
+		entries[i] = Entry{Row: r.IntN(rows), Col: r.IntN(cols), Val: r.Float64()*2 - 1}
+	}
+	m, err := New(rows, cols, entries)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m
+}
+
+func TestNewEmpty(t *testing.T) {
+	m, err := New(3, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 0 || m.Rows != 3 || m.Cols != 4 {
+		t.Fatalf("bad empty matrix: %+v", m)
+	}
+	if m.At(2, 3) != 0 {
+		t.Error("At on empty should be 0")
+	}
+}
+
+func TestNewRejectsOutOfRange(t *testing.T) {
+	if _, err := New(2, 2, []Entry{{Row: 2, Col: 0, Val: 1}}); err == nil {
+		t.Error("expected error for row out of range")
+	}
+	if _, err := New(2, 2, []Entry{{Row: 0, Col: -1, Val: 1}}); err == nil {
+		t.Error("expected error for negative col")
+	}
+	if _, err := New(-1, 2, nil); err == nil {
+		t.Error("expected error for negative dims")
+	}
+}
+
+func TestDuplicatesSummedZerosDropped(t *testing.T) {
+	m, err := New(2, 2, []Entry{
+		{0, 0, 1}, {0, 0, 2}, // duplicate -> 3
+		{1, 1, 5}, {1, 1, -5}, // cancels -> dropped
+		{0, 1, 0}, // explicit zero -> dropped
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 0) != 3 {
+		t.Errorf("At(0,0)=%v want 3", m.At(0, 0))
+	}
+	if m.NNZ() != 1 {
+		t.Errorf("NNZ=%d want 1", m.NNZ())
+	}
+}
+
+func TestRowsSortedByColumn(t *testing.T) {
+	m := randomCSR(t, 10, 10, 60, 1)
+	for i := 0; i < m.Rows; i++ {
+		for p := m.RowPtr[i] + 1; p < m.RowPtr[i+1]; p++ {
+			if m.ColIdx[p-1] >= m.ColIdx[p] {
+				t.Fatalf("row %d columns not strictly increasing", i)
+			}
+		}
+	}
+}
+
+func TestAtMatchesDense(t *testing.T) {
+	m := randomCSR(t, 7, 9, 30, 2)
+	d := m.ToDense()
+	for i := 0; i < 7; i++ {
+		for j := 0; j < 9; j++ {
+			if m.At(i, j) != d.At(i, j) {
+				t.Fatalf("At(%d,%d) sparse %v dense %v", i, j, m.At(i, j), d.At(i, j))
+			}
+		}
+	}
+}
+
+func TestTransposeMatchesDense(t *testing.T) {
+	m := randomCSR(t, 6, 11, 40, 3)
+	if !dense.Equal(m.T().ToDense(), m.ToDense().T(), 0) {
+		t.Error("sparse transpose disagrees with dense transpose")
+	}
+	// Double transpose is identity.
+	if !dense.Equal(m.T().T().ToDense(), m.ToDense(), 0) {
+		t.Error("(Mᵀ)ᵀ != M")
+	}
+}
+
+func TestMulDenseMatchesDense(t *testing.T) {
+	for _, threads := range []int{1, 4} {
+		m := randomCSR(t, 15, 8, 50, 4)
+		b := dense.Random(8, 5, rng(5))
+		got := m.MulDense(b, threads)
+		want := dense.Mul(m.ToDense(), b)
+		if !dense.Equal(got, want, 1e-12) {
+			t.Errorf("threads=%d: MulDense mismatch", threads)
+		}
+	}
+}
+
+func TestTMulDenseMatchesDense(t *testing.T) {
+	for _, threads := range []int{1, 4} {
+		m := randomCSR(t, 15, 8, 50, 6)
+		b := dense.Random(15, 5, rng(7))
+		got := m.TMulDense(b, threads)
+		want := dense.Mul(m.ToDense().T(), b)
+		if !dense.Equal(got, want, 1e-12) {
+			t.Errorf("threads=%d: TMulDense mismatch", threads)
+		}
+	}
+}
+
+func TestParallelMatchesSequentialOnLargeMatrix(t *testing.T) {
+	// Exceed the 4096-row threshold so the parallel path actually runs.
+	m := randomCSR(t, 5000, 40, 30000, 8)
+	b := dense.Random(40, 8, rng(9))
+	if !dense.Equal(m.MulDense(b, 1), m.MulDense(b, 8), 1e-10) {
+		t.Error("parallel MulDense differs from sequential")
+	}
+	c := dense.Random(5000, 8, rng(10))
+	if !dense.Equal(m.TMulDense(c, 1), m.TMulDense(c, 8), 1e-10) {
+		t.Error("parallel TMulDense differs from sequential")
+	}
+}
+
+func TestMulVecAndTMulVec(t *testing.T) {
+	m := randomCSR(t, 9, 7, 30, 11)
+	x := make([]float64, 7)
+	y := make([]float64, 9)
+	r := rng(12)
+	for i := range x {
+		x[i] = r.Float64()
+	}
+	for i := range y {
+		y[i] = r.Float64()
+	}
+	mx := m.MulVec(x)
+	d := m.ToDense()
+	for i := 0; i < 9; i++ {
+		if math.Abs(mx[i]-dense.Dot(d.Row(i), x)) > 1e-12 {
+			t.Fatalf("MulVec row %d mismatch", i)
+		}
+	}
+	mty := m.TMulVec(y)
+	dT := d.T()
+	for j := 0; j < 7; j++ {
+		if math.Abs(mty[j]-dense.Dot(dT.Row(j), y)) > 1e-12 {
+			t.Fatalf("TMulVec col %d mismatch", j)
+		}
+	}
+}
+
+func TestRowColSums(t *testing.T) {
+	m, err := New(2, 3, []Entry{{0, 0, 1}, {0, 2, 2}, {1, 2, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := m.RowSums()
+	if rs[0] != 3 || rs[1] != 4 {
+		t.Errorf("RowSums=%v", rs)
+	}
+	cs := m.ColSums()
+	if cs[0] != 1 || cs[1] != 0 || cs[2] != 6 {
+		t.Errorf("ColSums=%v", cs)
+	}
+}
+
+func TestScaledAndFrobenius(t *testing.T) {
+	m, _ := New(2, 2, []Entry{{0, 0, 3}, {1, 1, 4}})
+	if got := m.FrobeniusNormSq(); got != 25 {
+		t.Errorf("FrobeniusNormSq=%v want 25", got)
+	}
+	s := m.Scaled(2)
+	if s.At(0, 0) != 6 || s.At(1, 1) != 8 {
+		t.Error("Scaled wrong")
+	}
+	if m.At(0, 0) != 3 {
+		t.Error("Scaled mutated the original")
+	}
+}
+
+// Property: for random sparse matrices, (Mᵀ·b) computed sparsely always
+// matches the dense computation.
+func TestPropertySparseDenseAgree(t *testing.T) {
+	f := func(seed uint64) bool {
+		rows := 2 + int(seed%40)
+		cols := 2 + int((seed/7)%40)
+		nnz := int(seed % 200)
+		m := randomCSR(t, rows, cols, nnz, seed)
+		b := dense.Random(cols, 3, rng(seed^0xabc))
+		got := m.MulDense(b, 2)
+		want := dense.Mul(m.ToDense(), b)
+		return dense.Equal(got, want, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMulDense(b *testing.B) {
+	m := randomCSR(b, 20000, 5000, 200000, 99)
+	q := dense.Random(5000, 32, rng(100))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulDense(q, 1)
+	}
+}

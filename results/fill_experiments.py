@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Fold the gebe-bench outputs in results/ into EXPERIMENTS.md's
+placeholder slots. One-shot maintenance script for this repository."""
+import re
+import sys
+
+ROOT = "/root/repo"
+
+def block(path, grep=None, maxlines=None):
+    try:
+        lines = open(f"{ROOT}/results/{path}").read().splitlines()
+    except FileNotFoundError:
+        return "*(run did not complete; regenerate with cmd/gebe-bench)*"
+    # Drop the big banner line.
+    lines = [l.rstrip() for l in lines if not l.startswith("####")]
+    while lines and not lines[0]:
+        lines.pop(0)
+    if maxlines:
+        lines = lines[:maxlines]
+    return "```\n" + "\n".join(lines).strip() + "\n```"
+
+def main():
+    md = open(f"{ROOT}/EXPERIMENTS.md").read()
+    subs = {
+        "<<TABLE4>>": block("table4.txt"),
+        "<<TABLE5>>": block("table5.txt"),
+        "<<FIG2>>": block("fig2.txt"),
+        "<<FIG3>>": block("fig3.txt"),
+        "<<FIG45>>": block("fig4.txt") + "\n\n" + block("fig5.txt"),
+        "<<TABLEN>>": block("tablen.txt"),
+        "<<ABLATION>>": block("ablation.txt"),
+    }
+    for k, v in subs.items():
+        if k in md:
+            md = md.replace(k, v)
+    open(f"{ROOT}/EXPERIMENTS.md", "w").write(md)
+    missing = re.findall(r"<<[A-Z0-9]+>>", md)
+    print("filled; remaining placeholders:", missing)
+
+if __name__ == "__main__":
+    sys.exit(main())
