@@ -17,6 +17,7 @@ import (
 
 	"gebe/internal/bigraph"
 	"gebe/internal/gen"
+	"gebe/internal/obs"
 )
 
 func main() {
@@ -34,7 +35,13 @@ func main() {
 		split   = flag.Float64("split", 0, "also write <out>.train/<out>.test with this train fraction")
 		seed    = flag.Uint64("seed", 1, "random seed")
 	)
+	cli := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	stop, err := cli.Start("gebe-datagen")
+	if err != nil {
+		fail(err)
+	}
+	defer stop()
 
 	switch {
 	case *list:

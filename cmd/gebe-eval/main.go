@@ -21,6 +21,7 @@ import (
 	"gebe"
 	"gebe/internal/bigraph"
 	"gebe/internal/eval"
+	"gebe/internal/obs"
 )
 
 func main() {
@@ -35,12 +36,18 @@ func main() {
 		threads  = flag.Int("threads", 4, "ranking threads")
 		features = flag.String("features", "concat", "linkpred features: concat | hadamard | both")
 	)
+	cli := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if *trainP == "" || *testP == "" || *embP == "" {
 		fmt.Fprintln(os.Stderr, "gebe-eval: -train, -test and -emb are required")
 		flag.Usage()
 		os.Exit(2)
 	}
+	stop, err := cli.Start("gebe-eval")
+	if err != nil {
+		fail(err)
+	}
+	defer stop()
 	train, err := gebe.LoadGraph(*trainP)
 	if err != nil {
 		fail(err)

@@ -21,7 +21,9 @@ import (
 
 	"gebe"
 	"gebe/internal/core"
+	"gebe/internal/obs"
 	"gebe/internal/pmf"
+	"gebe/internal/sparse"
 )
 
 func main() {
@@ -37,11 +39,20 @@ func main() {
 		alpha   = flag.Float64("alpha", 0.5, "Geometric decay")
 		tau     = flag.Int("tau", 20, "path half-length truncation")
 	)
+	cli := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "gebe-sim: -in is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	stop, err := cli.Start("gebe-sim")
+	if err != nil {
+		fail(err)
+	}
+	defer stop()
+	if cli.Active() {
+		sparse.EnableMetrics(obs.DefaultRegistry())
 	}
 	g, err := gebe.LoadGraph(*in)
 	if err != nil {

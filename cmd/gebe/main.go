@@ -20,6 +20,8 @@ import (
 	"gebe/internal/baselines"
 	"gebe/internal/core"
 	"gebe/internal/dense"
+	"gebe/internal/obs"
+	"gebe/internal/sparse"
 )
 
 func main() {
@@ -37,11 +39,20 @@ func main() {
 		threads = flag.Int("threads", 1, "solver threads")
 		noScale = flag.Bool("noscale", false, "disable spectral scaling of W")
 	)
+	cli := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if *in == "" || *out == "" {
 		fmt.Fprintln(os.Stderr, "gebe: -in and -out are required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	stop, err := cli.Start("gebe")
+	if err != nil {
+		fail(err)
+	}
+	defer stop()
+	if cli.Active() {
+		sparse.EnableMetrics(obs.DefaultRegistry())
 	}
 	g, err := gebe.LoadGraph(*in)
 	if err != nil {

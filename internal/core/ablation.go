@@ -41,9 +41,13 @@ func MHPBNE(g *bigraph.Graph, opt Options) (*Embedding, error) {
 	if err := opt.validate(g, false); err != nil {
 		return nil, err
 	}
-	w, sigma := scaledWeightMatrix(g, opt)
+	run := opt.obsRun()
+	w, sigma := scaledWeightMatrix(g, opt, run)
 	h := hOperator{w: w, omega: opt.PMF, tau: opt.Tau, threads: opt.Threads}
-	res := linalg.KSIDeadline(ppOperator{h: h}, opt.K, opt.Iters, opt.Tol, opt.Seed, opt.Deadline)
+	res := linalg.KSIRun(ppOperator{h: h}, linalg.KSIConfig{
+		K: opt.K, Sweeps: opt.Iters, Tol: opt.Tol, Seed: opt.Seed,
+		Deadline: opt.Deadline, Obs: run,
+	})
 	if res.DeadlineHit {
 		return nil, fmt.Errorf("core: MHP-BNE: %w", budget.ErrExceeded)
 	}
@@ -90,9 +94,13 @@ func MHSBNE(g *bigraph.Graph, opt Options) (*Embedding, error) {
 	if err := opt.validate(g, true); err != nil {
 		return nil, err
 	}
-	w, sigma := scaledWeightMatrix(g, opt)
+	run := opt.obsRun()
+	w, sigma := scaledWeightMatrix(g, opt, run)
 	factorSide := func(h hOperator, seed uint64) (*dense.Matrix, linalg.KSIResult) {
-		res := linalg.KSIDeadline(h, opt.K, opt.Iters, opt.Tol, seed, opt.Deadline)
+		res := linalg.KSIRun(h, linalg.KSIConfig{
+			K: opt.K, Sweeps: opt.Iters, Tol: opt.Tol, Seed: seed,
+			Deadline: opt.Deadline, Obs: run,
+		})
 		if res.DeadlineHit {
 			return nil, res
 		}

@@ -14,7 +14,7 @@ func ExactEmbedding(g *bigraph.Graph, opt Options) (*Embedding, error) {
 	if err := opt.validate(g, false); err != nil {
 		return nil, err
 	}
-	w, sigma := scaledWeightMatrix(g, opt)
+	w, sigma := scaledWeightMatrix(g, opt, opt.obsRun())
 	h := ExactH(w, opt.PMF, opt.Tau)
 	vals, vecs := dense.SymEig(h)
 	zk := vecs.SliceCols(0, opt.K)

@@ -2,11 +2,13 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"gebe/internal/bigraph"
 	"gebe/internal/budget"
 	"gebe/internal/dense"
 	"gebe/internal/linalg"
+	"gebe/internal/obs"
 	"gebe/internal/pmf"
 	"gebe/internal/sparse"
 )
@@ -37,13 +39,20 @@ func (o hOperator) Apply(z *dense.Matrix) *dense.Matrix {
 }
 
 // scaledWeightMatrix builds W and applies the spectral scaling W/σ₁
-// unless disabled, returning the matrix and the scale used.
-func scaledWeightMatrix(g *bigraph.Graph, opt Options) (*sparse.CSR, float64) {
+// unless disabled, returning the matrix and the scale used. The σ₁ power
+// iteration is traced and timed through run (nil-safe).
+func scaledWeightMatrix(g *bigraph.Graph, opt Options, run *obs.Run) (*sparse.CSR, float64) {
 	w := WeightMatrix(g)
 	if opt.NoScale {
 		return w, 1
 	}
+	sp := run.Span("sigma1")
+	start := time.Now()
 	sigma := linalg.TopSingularValue(w, 0, opt.Seed^0x5ca1ab1e, opt.Threads)
+	sp.Set("sigma1", sigma)
+	sp.End()
+	run.Registry().Histogram("core_sigma1_seconds", "wall-clock of σ₁ power iteration", nil).ObserveSince(start)
+	run.Logger().Debug("sigma1: estimated", "sigma1", sigma, "elapsed_s", time.Since(start).Seconds())
 	if sigma <= 0 {
 		return w, 1
 	}
@@ -61,21 +70,52 @@ func GEBE(g *bigraph.Graph, opt Options) (*Embedding, error) {
 	if err := opt.validate(g, false); err != nil {
 		return nil, err
 	}
-	w, sigma := scaledWeightMatrix(g, opt)
+	run := opt.obsRun()
+	start := time.Now()
+	method := "gebe-" + opt.PMF.Name()
+	run.Logger().Info("gebe: start", "method", method, "nu", g.NU, "nv", g.NV,
+		"edges", g.NumEdges(), "k", opt.K, "tau", opt.Tau, "iters", opt.Iters, "tol", opt.Tol)
+	root := run.Span("gebe")
+	w, sigma := scaledWeightMatrix(g, opt, run)
 	op := hOperator{w: w, omega: opt.PMF, tau: opt.Tau, threads: opt.Threads}
-	res := linalg.KSIDeadline(op, opt.K, opt.Iters, opt.Tol, opt.Seed, opt.Deadline)
+	ksi := run.Span("ksi")
+	res := linalg.KSIRun(op, linalg.KSIConfig{
+		K: opt.K, Sweeps: opt.Iters, Tol: opt.Tol, Seed: opt.Seed,
+		Deadline: opt.Deadline, Obs: run,
+	})
+	ksi.Set("sweeps", res.Sweeps).Set("converged", res.Converged)
+	ksi.End()
 	if res.DeadlineHit {
+		root.End()
+		run.Logger().Warn("gebe: deadline exceeded", "method", method,
+			"sweeps", res.Sweeps, "elapsed_s", time.Since(start).Seconds())
 		return nil, fmt.Errorf("core: GEBE: %w", budget.ErrExceeded)
 	}
+	embedSp := run.Span("embed")
 	u, v := embedFromEigen(w, res.Vectors, res.Values, opt.Threads)
+	embedSp.End()
+	root.End()
+	finishRun(run, start, res.Sweeps)
+	run.Logger().Info("gebe: done", "method", method, "sweeps", res.Sweeps,
+		"converged", res.Converged, "elapsed_s", time.Since(start).Seconds())
 	return &Embedding{
 		U: u, V: v,
 		Values:     res.Values,
-		Method:     "gebe-" + opt.PMF.Name(),
+		Method:     method,
 		Sweeps:     res.Sweeps,
 		Converged:  res.Converged,
 		SigmaScale: sigma,
 	}, nil
+}
+
+// finishRun records the run-level counters every solver shares.
+func finishRun(run *obs.Run, start time.Time, sweeps int) {
+	reg := run.Registry()
+	reg.Counter("core_runs_total", "completed solver runs").Inc()
+	reg.Histogram("core_run_seconds", "wall-clock per solver run", nil).ObserveSince(start)
+	if sweeps > 0 {
+		reg.Gauge("core_last_run_sweeps", "KSI sweeps used by the most recent run").Set(float64(sweeps))
+	}
 }
 
 // embedFromEigen realizes Eq. (13): U = Z·√Λ, V = Wᵀ·U. Tiny negative

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"time"
 
 	"gebe/internal/bigraph"
 	"gebe/internal/linalg"
@@ -24,14 +25,34 @@ func GEBEP(g *bigraph.Graph, opt Options) (*Embedding, error) {
 	if err := opt.validate(g, true); err != nil {
 		return nil, err
 	}
-	w, sigma := scaledWeightMatrix(g, opt)
-	svd := linalg.RandomizedSVD(w, opt.K, opt.Epsilon, opt.Seed, opt.Threads)
+	run := opt.obsRun()
+	start := time.Now()
+	run.Logger().Info("gebep: start", "nu", g.NU, "nv", g.NV, "edges", g.NumEdges(),
+		"k", opt.K, "lambda", opt.Lambda, "epsilon", opt.Epsilon)
+	root := run.Span("gebep")
+	w, sigma := scaledWeightMatrix(g, opt, run)
+	rsvd := run.Span("rsvd")
+	svd := linalg.RandomizedSVDRun(w, linalg.SVDConfig{
+		K: opt.K, Eps: opt.Epsilon, Seed: opt.Seed, Threads: opt.Threads, Obs: run,
+	})
+	rsvd.Set("krylov_dim", svd.KrylovDim).Set("iterations", svd.Iterations)
+	rsvd.End()
 	// Λ'_k = e^{-λ}·e^{λΣ'²} (Line 2 of Algorithm 2).
+	mapStart := time.Now()
+	mapSp := run.Span("spectral_map")
 	vals := make([]float64, opt.K)
 	for i, s := range svd.Sigma {
 		vals[i] = math.Exp(opt.Lambda * (s*s - 1))
 	}
+	mapSp.End()
+	mapDur := time.Since(mapStart)
+	embedSp := run.Span("embed")
 	u, v := embedFromEigen(w, svd.U, vals, opt.Threads)
+	embedSp.End()
+	root.End()
+	finishRun(run, start, 0)
+	run.Logger().Info("gebep: done", "krylov_dim", svd.KrylovDim, "block_steps", svd.Iterations,
+		"spectral_map_s", mapDur.Seconds(), "elapsed_s", time.Since(start).Seconds())
 	return &Embedding{
 		U: u, V: v,
 		Values:     vals,

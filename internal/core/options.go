@@ -6,6 +6,7 @@ import (
 
 	"gebe/internal/bigraph"
 	"gebe/internal/dense"
+	"gebe/internal/obs"
 	"gebe/internal/pmf"
 )
 
@@ -44,6 +45,42 @@ type Options struct {
 	// DESIGN.md §3.5); turn it off only for tiny hand-built graphs such as
 	// the paper's running example.
 	NoScale bool
+	// Logger receives structured solver telemetry: run begin/end at info
+	// level, per-sweep residuals and phase timings at debug level. nil
+	// falls back to the process-wide obs.Default(), which is disabled
+	// unless a command installed one (-v/-vv), so the zero value is silent
+	// and free.
+	Logger *obs.Logger
+	// Trace, when non-nil, collects a nested phase-span tree (σ₁
+	// estimation, KSI sweeps, SVD blocks, embedding realization) for this
+	// run. nil falls back to obs.DefaultTrace() (installed by -trace).
+	Trace *obs.Trace
+	// Metrics receives solver counters/gauges/histograms. nil falls back
+	// to obs.DefaultRegistry(), the process-wide registry served by
+	// -debug-addr.
+	Metrics *obs.Registry
+	// Progress, when non-nil, is invoked after every KSI sweep and every
+	// randomized-SVD block step — the hook UIs and adaptive controllers
+	// build on.
+	Progress func(obs.Progress)
+}
+
+// obsRun resolves the per-run observability sinks, falling back to the
+// process-wide defaults for any field left nil.
+func (o Options) obsRun() *obs.Run {
+	log := o.Logger
+	if log == nil {
+		log = obs.Default()
+	}
+	tr := o.Trace
+	if tr == nil {
+		tr = obs.DefaultTrace()
+	}
+	reg := o.Metrics
+	if reg == nil {
+		reg = obs.DefaultRegistry()
+	}
+	return &obs.Run{Log: log, Trace: tr, Metrics: reg, Progress: o.Progress}
 }
 
 func (o Options) withDefaults() Options {
@@ -87,10 +124,10 @@ func (o Options) validate(g *bigraph.Graph, needBothSides bool) error {
 	if o.Tau < 0 {
 		return fmt.Errorf("core: Tau must be non-negative, got %d", o.Tau)
 	}
-	if o.Lambda < 0 {
+	if o.Lambda <= 0 {
 		return fmt.Errorf("core: Lambda must be positive, got %g", o.Lambda)
 	}
-	if o.Epsilon < 0 || o.Epsilon >= 1 {
+	if o.Epsilon <= 0 || o.Epsilon >= 1 {
 		return fmt.Errorf("core: Epsilon must lie in (0,1), got %g", o.Epsilon)
 	}
 	return nil

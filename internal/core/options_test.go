@@ -1,0 +1,96 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"gebe/internal/budget"
+	"gebe/internal/obs"
+)
+
+// TestValidateBoundaries exercises validate directly (GEBE's withDefaults
+// replaces zero Lambda/Epsilon before validation, so the boundary values
+// are only reachable here) and pins the messages to the checks: Lambda
+// must be positive, so 0 is invalid; Epsilon must lie in the open
+// interval (0,1), so both endpoints are invalid.
+func TestValidateBoundaries(t *testing.T) {
+	g := figure1Graph(t)
+	base := Options{K: 2, Tau: 20, Lambda: 1, Epsilon: 0.1}
+	cases := []struct {
+		name   string
+		mutate func(*Options)
+		wantOK bool
+	}{
+		{"valid", func(o *Options) {}, true},
+		{"lambda zero", func(o *Options) { o.Lambda = 0 }, false},
+		{"lambda negative", func(o *Options) { o.Lambda = -1 }, false},
+		{"lambda tiny positive", func(o *Options) { o.Lambda = 1e-12 }, true},
+		{"epsilon zero", func(o *Options) { o.Epsilon = 0 }, false},
+		{"epsilon one", func(o *Options) { o.Epsilon = 1 }, false},
+		{"epsilon negative", func(o *Options) { o.Epsilon = -0.1 }, false},
+		{"epsilon near zero", func(o *Options) { o.Epsilon = 1e-9 }, true},
+		{"epsilon near one", func(o *Options) { o.Epsilon = 0.999999 }, true},
+	}
+	for _, tc := range cases {
+		opt := base
+		tc.mutate(&opt)
+		err := opt.validate(g, false)
+		if tc.wantOK && err != nil {
+			t.Errorf("%s: unexpected error: %v", tc.name, err)
+		}
+		if !tc.wantOK && err == nil {
+			t.Errorf("%s: validate accepted %+v", tc.name, opt)
+		}
+	}
+}
+
+// TestGEBEDeadlineExceeded checks the cooperative-timeout contract: an
+// already-expired deadline makes GEBE abort with budget.ErrExceeded, a
+// nil embedding, a fully closed trace — and leaves the process able to
+// run the same problem to completion immediately afterwards.
+func TestGEBEDeadlineExceeded(t *testing.T) {
+	g := randomBipartite(t, 60, 40, 400, true, 5)
+	tr := obs.NewTrace("deadline-test")
+	opt := Options{K: 4, Seed: 1, Deadline: time.Now().Add(-time.Second), Trace: tr}
+	emb, err := GEBE(g, opt)
+	if err == nil {
+		t.Fatal("GEBE ignored an expired deadline")
+	}
+	if !errors.Is(err, budget.ErrExceeded) {
+		t.Errorf("error does not wrap budget.ErrExceeded: %v", err)
+	}
+	if emb != nil {
+		t.Errorf("timed-out run returned a partial embedding: %+v", emb)
+	}
+	root := tr.Root()
+	var assertClosed func(s *obs.Span)
+	assertClosed = func(s *obs.Span) {
+		if s.Duration <= 0 {
+			t.Errorf("span %q left open after timeout", s.Name)
+		}
+		for _, c := range s.Children {
+			assertClosed(c)
+		}
+	}
+	assertClosed(root)
+
+	opt.Deadline = time.Time{}
+	emb, err = GEBE(g, opt)
+	if err != nil || emb == nil {
+		t.Fatalf("run after timeout failed: %v", err)
+	}
+}
+
+// TestAblationDeadlineExceeded covers the same contract for the two
+// ablation solvers, whose deadline plumbing is separate.
+func TestAblationDeadlineExceeded(t *testing.T) {
+	g := randomBipartite(t, 60, 40, 400, true, 5)
+	expired := time.Now().Add(-time.Second)
+	if _, err := MHPBNE(g, Options{K: 4, Seed: 1, Deadline: expired}); !errors.Is(err, budget.ErrExceeded) {
+		t.Errorf("MHPBNE: want budget.ErrExceeded, got %v", err)
+	}
+	if _, err := MHSBNE(g, Options{K: 4, Seed: 1, Deadline: expired}); !errors.Is(err, budget.ErrExceeded) {
+		t.Errorf("MHSBNE: want budget.ErrExceeded, got %v", err)
+	}
+}

@@ -13,9 +13,10 @@ import (
 
 // AblationRow records one design-choice ablation measurement.
 type AblationRow struct {
-	Study, Setting string
-	Metric         float64
-	Elapsed        time.Duration
+	Study   string   `json:"study"`
+	Setting string   `json:"setting"`
+	Metric  float64  `json:"metric"`
+	Elapsed Duration `json:"elapsed_seconds"`
 }
 
 // Ablations measures the repository's own design choices (DESIGN.md §4),
@@ -28,7 +29,7 @@ type AblationRow struct {
 //  3. randomized-SVD ε (Krylov depth) against achieved singular-value
 //     accuracy.
 func Ablations(cfg Config) ([]AblationRow, error) {
-	cfg = cfg.withDefaults()
+	cfg, begun := cfg.begin("ablation")
 	ds, err := gen.ByName("dblp")
 	if err != nil {
 		return nil, err
@@ -48,17 +49,19 @@ func Ablations(cfg Config) ([]AblationRow, error) {
 		if noScale {
 			setting = "raw-weights"
 		}
+		sp := cfg.Trace.StartSpan("cell").Set("study", "scaling").Set("setting", setting)
 		start := time.Now()
 		emb, err := core.GEBEP(prep.train, core.Options{
 			K: cfg.K, Lambda: 1, Epsilon: 0.1, Seed: cfg.Seed,
-			Threads: cfg.Threads, NoScale: noScale,
+			Threads: cfg.Threads, NoScale: noScale, Trace: cfg.Trace,
 		})
 		elapsed := time.Since(start)
+		sp.End()
 		f1 := 0.0
 		if err == nil && finiteMatrix(emb.U) {
 			f1 = eval.TopN(prep.train, prep.test, emb.U, emb.V, 10, cfg.Threads).F1
 		}
-		rows = append(rows, AblationRow{Study: "scaling", Setting: setting, Metric: f1, Elapsed: elapsed})
+		rows = append(rows, AblationRow{Study: "scaling", Setting: setting, Metric: f1, Elapsed: Duration(elapsed)})
 		printed = append(printed, []string{setting, fmt.Sprintf("%.3f", f1), fmt.Sprintf("%.2fs", elapsed.Seconds())})
 	}
 	printTable(cfg.Out, []string{"setting", "F1@10", "time"}, printed)
@@ -67,17 +70,19 @@ func Ablations(cfg Config) ([]AblationRow, error) {
 	fmt.Fprintf(cfg.Out, "\n== Ablation: KSI sweep budget (GEBE Poisson, %s) ==\n", ds.Name)
 	printed = nil
 	for _, iters := range []int{1, 3, 10, 30, 100} {
+		sp := cfg.Trace.StartSpan("cell").Set("study", "ksi-sweeps").Set("setting", iters)
 		start := time.Now()
 		emb, err := core.GEBE(prep.train, core.Options{
 			K: cfg.K, PMF: pmf.NewPoisson(1), Tau: 20, Iters: iters, Tol: 1e-12,
-			Seed: cfg.Seed, Threads: cfg.Threads,
+			Seed: cfg.Seed, Threads: cfg.Threads, Trace: cfg.Trace,
 		})
 		elapsed := time.Since(start)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
 		f1 := eval.TopN(prep.train, prep.test, emb.U, emb.V, 10, cfg.Threads).F1
-		rows = append(rows, AblationRow{Study: "ksi-sweeps", Setting: fmt.Sprintf("t=%d", iters), Metric: f1, Elapsed: elapsed})
+		rows = append(rows, AblationRow{Study: "ksi-sweeps", Setting: fmt.Sprintf("t=%d", iters), Metric: f1, Elapsed: Duration(elapsed)})
 		printed = append(printed, []string{fmt.Sprintf("%d", iters), fmt.Sprintf("%.3f", f1), fmt.Sprintf("%.2fs", elapsed.Seconds())})
 	}
 	printTable(cfg.Out, []string{"sweeps", "F1@10", "time"}, printed)
@@ -89,9 +94,11 @@ func Ablations(cfg Config) ([]AblationRow, error) {
 	w := core.WeightMatrix(prep.train)
 	ref := linalg.TopSingularValue(w, 500, cfg.Seed, cfg.Threads)
 	for _, eps := range []float64{0.5, 0.3, 0.1, 0.05} {
+		sp := cfg.Trace.StartSpan("cell").Set("study", "rsvd-eps").Set("setting", eps)
 		start := time.Now()
 		res := linalg.RandomizedSVD(w, cfg.K, eps, cfg.Seed, cfg.Threads)
 		elapsed := time.Since(start)
+		sp.End()
 		relErr := 0.0
 		if ref > 0 {
 			relErr = (ref - res.Sigma[0]) / ref
@@ -99,12 +106,12 @@ func Ablations(cfg Config) ([]AblationRow, error) {
 				relErr = -relErr
 			}
 		}
-		rows = append(rows, AblationRow{Study: "rsvd-eps", Setting: fmt.Sprintf("eps=%.2f", eps), Metric: relErr, Elapsed: elapsed})
+		rows = append(rows, AblationRow{Study: "rsvd-eps", Setting: fmt.Sprintf("eps=%.2f", eps), Metric: relErr, Elapsed: Duration(elapsed)})
 		printed = append(printed, []string{fmt.Sprintf("%.2f", eps),
 			fmt.Sprintf("%d", res.KrylovDim), fmt.Sprintf("%.2e", relErr), fmt.Sprintf("%.2fs", elapsed.Seconds())})
 	}
 	printTable(cfg.Out, []string{"eps", "krylov-dim", "sigma1 rel err", "time"}, printed)
-	return rows, nil
+	return rows, cfg.writeManifest("ablation", rows, cfg.Trace, begun)
 }
 
 func finiteMatrix(m interface{ MaxAbs() float64 }) bool {

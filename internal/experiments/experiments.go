@@ -18,6 +18,7 @@ import (
 	"gebe/internal/dense"
 	"gebe/internal/eval"
 	"gebe/internal/gen"
+	"gebe/internal/obs"
 	"gebe/internal/pmf"
 )
 
@@ -44,6 +45,24 @@ type Config struct {
 	LPFeatures eval.FeatureMode
 	// Out receives the formatted tables (required).
 	Out io.Writer
+	// ManifestDir, when non-empty, makes each experiment write a
+	// machine-readable run manifest (RUN_<exp>.json: config, rows, phase
+	// trace, memory stats) into that directory.
+	ManifestDir string
+	// Trace receives the experiment's phase spans; the paper's solvers
+	// nest their own spans under it. When nil, each experiment creates a
+	// private trace so the manifest is always complete.
+	Trace *obs.Trace
+}
+
+// begin normalizes cfg for one experiment run: defaults applied, a trace
+// rooted at the experiment name, and the start time for the manifest.
+func (c Config) begin(exp string) (Config, time.Time) {
+	c = c.withDefaults()
+	if c.Trace == nil {
+		c.Trace = obs.NewTrace(exp)
+	}
+	return c, time.Now()
 }
 
 func (c Config) withDefaults() Config {
@@ -104,6 +123,7 @@ func Methods(cfg Config) []Spec {
 			o.Seed = seed
 			o.Threads = threads
 			o.Deadline = deadline
+			o.Trace = cfg.Trace
 			e, err := f(g, o)
 			if err != nil {
 				return nil, nil, err
@@ -134,16 +154,21 @@ func Methods(cfg Config) []Spec {
 	return filtered
 }
 
-// timedRun executes spec.Run under the time budget. The deadline is
+// timedRun executes spec.Run under cfg.TimeBudget. The deadline is
 // cooperative — every solver checks it at sweep/epoch granularity and
 // aborts with budget.ErrExceeded — so a timed-out method releases the
 // machine instead of lingering; overruns report ok=false, which the
-// tables print as the paper's "-".
-func timedRun(spec Spec, g *bigraph.Graph, budget time.Duration) (u, v *dense.Matrix, elapsed time.Duration, ok bool) {
+// tables print as the paper's "-". Each cell gets a span in cfg.Trace;
+// the paper's solvers nest their phase spans beneath it.
+func timedRun(cfg Config, spec Spec, g *bigraph.Graph, dataset string) (u, v *dense.Matrix, elapsed time.Duration, ok bool) {
+	sp := cfg.Trace.StartSpan("cell").Set("method", spec.Name).Set("dataset", dataset)
 	start := time.Now()
-	ru, rv, err := spec.Run(g, start.Add(budget))
+	ru, rv, err := spec.Run(g, start.Add(cfg.TimeBudget))
 	elapsed = time.Since(start)
-	if err != nil {
+	ok = err == nil
+	sp.Set("ok", ok)
+	sp.End()
+	if !ok {
 		return nil, nil, elapsed, false
 	}
 	return ru, rv, elapsed, true

@@ -98,7 +98,7 @@ func TestFig2Smoke(t *testing.T) {
 	if len(rows) != 2 {
 		t.Fatalf("want 2 rows, got %d", len(rows))
 	}
-	var gp, gpois time.Duration
+	var gp, gpois Duration
 	for _, r := range rows {
 		if !r.OK {
 			t.Fatalf("%s failed", r.Method)

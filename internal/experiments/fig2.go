@@ -2,23 +2,23 @@ package experiments
 
 import (
 	"fmt"
-	"time"
 
 	"gebe/internal/gen"
 )
 
 // Fig2Row is one (method, dataset) timing measurement.
 type Fig2Row struct {
-	Method, Dataset string
-	Elapsed         time.Duration
-	OK              bool
+	Method  string   `json:"method"`
+	Dataset string   `json:"dataset"`
+	Elapsed Duration `json:"elapsed_seconds"`
+	OK      bool     `json:"ok"`
 }
 
 // Fig2 reproduces the paper's Figure 2: wall-clock embedding
 // construction time for every method on all ten stand-ins (time to build
 // embeddings only — loading and output are excluded, as in §6.2).
 func Fig2(cfg Config) ([]Fig2Row, error) {
-	cfg = cfg.withDefaults()
+	cfg, start := cfg.begin("fig2")
 	specs := Methods(cfg)
 	var rows []Fig2Row
 	all := make([]string, 0, 10)
@@ -37,8 +37,8 @@ func Fig2(cfg Config) ([]Fig2Row, error) {
 		fmt.Fprintf(cfg.Out, "\n== Figure 2: embedding time on %s (%v) ==\n", name, g.Stats())
 		var printed [][]string
 		for _, spec := range specs {
-			_, _, elapsed, ok := timedRun(spec, g, cfg.TimeBudget)
-			rows = append(rows, Fig2Row{Method: spec.Name, Dataset: name, Elapsed: elapsed, OK: ok})
+			_, _, elapsed, ok := timedRun(cfg, spec, g, name)
+			rows = append(rows, Fig2Row{Method: spec.Name, Dataset: name, Elapsed: Duration(elapsed), OK: ok})
 			cell := "-"
 			if ok {
 				cell = fmt.Sprintf("%.2fs", elapsed.Seconds())
@@ -47,5 +47,5 @@ func Fig2(cfg Config) ([]Fig2Row, error) {
 		}
 		printTable(cfg.Out, []string{"Method", "time"}, printed)
 	}
-	return rows, nil
+	return rows, cfg.writeManifest("fig2", rows, cfg.Trace, start)
 }

@@ -12,10 +12,11 @@ import (
 
 // Fig3Row is one scalability measurement.
 type Fig3Row struct {
-	Method string
+	Method string `json:"method"`
 	// Nodes is |U|+|V|; Edges is |E|.
-	Nodes, Edges int
-	Elapsed      time.Duration
+	Nodes   int      `json:"nodes"`
+	Edges   int      `json:"edges"`
+	Elapsed Duration `json:"elapsed_seconds"`
 }
 
 // Fig3 reproduces the paper's Figure 3 scalability study on bipartite
@@ -23,7 +24,7 @@ type Fig3Row struct {
 // fixed edge count, (b) varying the edge count at a fixed node count.
 // Only GEBE (Poisson) and GEBE^p run, as in the paper.
 func Fig3(cfg Config) ([]Fig3Row, error) {
-	cfg = cfg.withDefaults()
+	cfg, begun := cfg.begin("fig3")
 	// Paper: nodes 2e5..1e6 at 1e7 edges; edges 2e7..1e8 at 1e6 nodes.
 	// Scaled /200 with the same 5-point grids so the sweep finishes on a
 	// single core.
@@ -40,6 +41,7 @@ func Fig3(cfg Config) ([]Fig3Row, error) {
 		}
 		for _, m := range []string{"GEBE (Poisson)", "GEBE^p"} {
 			var elapsed time.Duration
+			sp := cfg.Trace.StartSpan("cell").Set("method", m).Set("nodes", nu+nv).Set("edges", ne)
 			start := time.Now()
 			switch m {
 			case "GEBE (Poisson)":
@@ -48,16 +50,19 @@ func Fig3(cfg Config) ([]Fig3Row, error) {
 				// otherwise make the stopping point (not the per-sweep cost)
 				// dominate the curve.
 				_, err = core.GEBE(g, core.Options{K: cfg.K, PMF: pmf.NewPoisson(1),
-					Tau: 20, Iters: 30, Tol: 1e-9, Seed: cfg.Seed, Threads: cfg.Threads})
+					Tau: 20, Iters: 30, Tol: 1e-9, Seed: cfg.Seed, Threads: cfg.Threads,
+					Trace: cfg.Trace})
 			case "GEBE^p":
 				_, err = core.GEBEP(g, core.Options{K: cfg.K, Lambda: 1, Epsilon: 0.1,
-					Seed: cfg.Seed, Threads: cfg.Threads})
+					Seed: cfg.Seed, Threads: cfg.Threads, Trace: cfg.Trace})
 			}
 			elapsed = time.Since(start)
+			sp.Set("ok", err == nil)
+			sp.End()
 			if err != nil {
 				return fmt.Errorf("experiments: fig3 %s on %d nodes / %d edges: %w", m, nu+nv, ne, err)
 			}
-			rows = append(rows, Fig3Row{Method: m, Nodes: nu + nv, Edges: ne, Elapsed: elapsed})
+			rows = append(rows, Fig3Row{Method: m, Nodes: nu + nv, Edges: ne, Elapsed: Duration(elapsed)})
 		}
 		return nil
 	}
@@ -78,7 +83,7 @@ func Fig3(cfg Config) ([]Fig3Row, error) {
 		}
 	}
 	printFig3(cfg, rows[:before], rows[before:], false, nodesForEdgeGrid)
-	return rows, nil
+	return rows, cfg.writeManifest("fig3", rows, cfg.Trace, begun)
 }
 
 func printFig3(cfg Config, _, rows []Fig3Row, byNodes bool, fixed int) {

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	"gebe/internal/core"
 	"gebe/internal/eval"
@@ -12,9 +13,10 @@ import (
 // SweepRow is one parameter-sweep measurement: metric value at one
 // parameter setting on one dataset.
 type SweepRow struct {
-	Dataset, Param string
-	Value          float64 // parameter value
-	Metric         float64 // F1@10 (Fig 4) or AUC-ROC (Fig 5)
+	Dataset string  `json:"dataset"`
+	Param   string  `json:"param"`
+	Value   float64 `json:"value"`  // parameter value
+	Metric  float64 `json:"metric"` // F1@10 (Fig 4) or AUC-ROC (Fig 5)
 }
 
 // fig45 datasets follow §6.5: recommendation sweeps on weighted
@@ -29,18 +31,18 @@ var (
 // GEBE^p varying λ ∈ {1..5} and ε ∈ {0.1..0.9}, and of GEBE (Poisson)
 // varying τ ∈ {1,2,5,10,20,30}.
 func Fig4(cfg Config) ([]SweepRow, error) {
-	cfg = cfg.withDefaults()
-	return paramSweep(cfg, fig4Datasets, true)
+	cfg, start := cfg.begin("fig4")
+	return paramSweep(cfg, "fig4", start, fig4Datasets, true)
 }
 
 // Fig5 reproduces the paper's Figure 5: the same sweeps measured by
 // link-prediction AUC-ROC on unweighted stand-ins.
 func Fig5(cfg Config) ([]SweepRow, error) {
-	cfg = cfg.withDefaults()
-	return paramSweep(cfg, fig5Datasets, false)
+	cfg, start := cfg.begin("fig5")
+	return paramSweep(cfg, "fig5", start, fig5Datasets, false)
 }
 
-func paramSweep(cfg Config, datasets []string, rec bool) ([]SweepRow, error) {
+func paramSweep(cfg Config, exp string, start time.Time, datasets []string, rec bool) ([]SweepRow, error) {
 	lambdas := []float64{1, 2, 3, 4, 5}
 	epsilons := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
 	taus := []int{1, 2, 5, 10, 20, 30}
@@ -75,8 +77,10 @@ func paramSweep(cfg Config, datasets []string, rec bool) ([]SweepRow, error) {
 		fmt.Fprintf(cfg.Out, "\n== %s on %s: GEBE^p varying lambda (%s) ==\n", figName, name, metricName)
 		var printed [][]string
 		for _, lam := range lambdas {
+			sp := cfg.Trace.StartSpan("cell").Set("dataset", name).Set("param", "lambda").Set("value", lam)
 			e, err := core.GEBEP(prep.train, core.Options{K: cfg.K, Lambda: lam, Epsilon: 0.1,
-				PMF: pmf.NewPoisson(lam), Seed: cfg.Seed, Threads: cfg.Threads})
+				PMF: pmf.NewPoisson(lam), Seed: cfg.Seed, Threads: cfg.Threads, Trace: cfg.Trace})
+			sp.End()
 			if err != nil {
 				return nil, err
 			}
@@ -89,8 +93,10 @@ func paramSweep(cfg Config, datasets []string, rec bool) ([]SweepRow, error) {
 		fmt.Fprintf(cfg.Out, "\n== %s on %s: GEBE^p varying epsilon (%s) ==\n", figName, name, metricName)
 		printed = nil
 		for _, eps := range epsilons {
+			sp := cfg.Trace.StartSpan("cell").Set("dataset", name).Set("param", "epsilon").Set("value", eps)
 			e, err := core.GEBEP(prep.train, core.Options{K: cfg.K, Lambda: 1, Epsilon: eps,
-				Seed: cfg.Seed, Threads: cfg.Threads})
+				Seed: cfg.Seed, Threads: cfg.Threads, Trace: cfg.Trace})
+			sp.End()
 			if err != nil {
 				return nil, err
 			}
@@ -103,8 +109,10 @@ func paramSweep(cfg Config, datasets []string, rec bool) ([]SweepRow, error) {
 		fmt.Fprintf(cfg.Out, "\n== %s on %s: GEBE (Poisson) varying tau (%s) ==\n", figName, name, metricName)
 		printed = nil
 		for _, tau := range taus {
+			sp := cfg.Trace.StartSpan("cell").Set("dataset", name).Set("param", "tau").Set("value", tau)
 			e, err := core.GEBE(prep.train, core.Options{K: cfg.K, PMF: pmf.NewPoisson(1),
-				Tau: tau, Iters: 200, Tol: 1e-5, Seed: cfg.Seed, Threads: cfg.Threads})
+				Tau: tau, Iters: 200, Tol: 1e-5, Seed: cfg.Seed, Threads: cfg.Threads, Trace: cfg.Trace})
+			sp.End()
 			if err != nil {
 				return nil, err
 			}
@@ -114,5 +122,5 @@ func paramSweep(cfg Config, datasets []string, rec bool) ([]SweepRow, error) {
 		}
 		printTable(cfg.Out, []string{"tau", metricName}, printed)
 	}
-	return rows, nil
+	return rows, cfg.writeManifest(exp, rows, cfg.Trace, start)
 }

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"gebe/internal/obs"
+)
+
+// Duration behaves like time.Duration in code but marshals as float
+// seconds, the unit run reports and manifests use.
+type Duration time.Duration
+
+// Seconds returns the duration in seconds.
+func (d Duration) Seconds() float64 { return time.Duration(d).Seconds() }
+
+// MarshalJSON renders the duration as float seconds.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).Seconds())
+}
+
+// Manifest is the machine-readable record one experiment run leaves
+// behind (Config.ManifestDir): everything needed to interpret, compare,
+// or regress-check the run later — configuration, per-row results, the
+// phase-timing trace tree, and process memory statistics.
+type Manifest struct {
+	Experiment     string         `json:"experiment"`
+	CreatedAt      time.Time      `json:"created_at"`
+	GoVersion      string         `json:"go_version"`
+	Config         ManifestConfig `json:"config"`
+	ElapsedSeconds float64        `json:"elapsed_seconds"`
+	Rows           any            `json:"rows"`
+	Trace          *obs.Span      `json:"trace,omitempty"`
+	Memory         MemoryStats    `json:"memory"`
+}
+
+// ManifestConfig is the subset of Config worth recording.
+type ManifestConfig struct {
+	K                 int      `json:"k"`
+	Seed              uint64   `json:"seed"`
+	Threads           int      `json:"threads"`
+	TimeBudgetSeconds float64  `json:"time_budget_seconds"`
+	Datasets          []string `json:"datasets,omitempty"`
+	Methods           []string `json:"methods,omitempty"`
+}
+
+// MemoryStats snapshots runtime.MemStats at the end of the run. Sys is
+// the peak bytes obtained from the OS (the closest stdlib proxy for
+// peak RSS); TotalAlloc is cumulative heap allocation.
+type MemoryStats struct {
+	SysBytes        uint64 `json:"sys_bytes"`
+	HeapInuseBytes  uint64 `json:"heap_inuse_bytes"`
+	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
+	NumGC           uint32 `json:"num_gc"`
+}
+
+// writeManifest persists the run manifest as
+// <ManifestDir>/RUN_<exp>.json; a no-op when ManifestDir is unset.
+func (c Config) writeManifest(exp string, rows any, tr *obs.Trace, start time.Time) error {
+	if c.ManifestDir == "" {
+		return nil
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m := Manifest{
+		Experiment: exp,
+		CreatedAt:  time.Now().UTC(),
+		GoVersion:  runtime.Version(),
+		Config: ManifestConfig{
+			K: c.K, Seed: c.Seed, Threads: c.Threads,
+			TimeBudgetSeconds: c.TimeBudget.Seconds(),
+			Datasets:          c.Datasets, Methods: c.Methods,
+		},
+		ElapsedSeconds: time.Since(start).Seconds(),
+		Rows:           rows,
+		Trace:          tr.Root(),
+		Memory: MemoryStats{
+			SysBytes:        ms.Sys,
+			HeapInuseBytes:  ms.HeapInuse,
+			TotalAllocBytes: ms.TotalAlloc,
+			NumGC:           ms.NumGC,
+		},
+	}
+	if err := os.MkdirAll(c.ManifestDir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(c.ManifestDir, "RUN_"+exp+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	obs.Default().Info("experiments: wrote run manifest", "experiment", exp, "path", path)
+	return nil
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gebe/internal/obs"
+)
+
+// TestManifestWritten runs a one-cell Fig2 with ManifestDir set and
+// checks the RUN_fig2.json manifest round-trips with rows, trace, and
+// memory stats populated.
+func TestManifestWritten(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := fastCfg(&buf)
+	cfg.Datasets = []string{"dblp"}
+	cfg.Methods = []string{"GEBE^p"}
+	cfg.ManifestDir = t.TempDir()
+	if _, err := Fig2(cfg); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(cfg.ManifestDir, "RUN_fig2.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v", err)
+	}
+	if m.Experiment != "fig2" || m.GoVersion == "" || m.ElapsedSeconds <= 0 {
+		t.Errorf("header fields wrong: %+v", m)
+	}
+	if m.Config.K != cfg.K || m.Config.Threads != cfg.Threads {
+		t.Errorf("config not recorded: %+v", m.Config)
+	}
+	rows, ok := m.Rows.([]any)
+	if !ok || len(rows) != 1 {
+		t.Fatalf("want 1 row, got %#v", m.Rows)
+	}
+	row := rows[0].(map[string]any)
+	if row["method"] != "GEBE^p" || row["dataset"] != "dblp" || row["ok"] != true {
+		t.Errorf("row fields wrong: %v", row)
+	}
+	if _, ok := row["elapsed_seconds"].(float64); !ok {
+		t.Errorf("elapsed_seconds not a float: %v", row["elapsed_seconds"])
+	}
+	if m.Trace == nil || m.Trace.Name != "fig2" || len(m.Trace.Children) == 0 {
+		t.Fatalf("trace missing or empty: %+v", m.Trace)
+	}
+	if m.Memory.SysBytes == 0 {
+		t.Error("memory stats not recorded")
+	}
+}
+
+// TestManifestCellSpans checks the experiment trace nests solver phase
+// spans under each cell span.
+func TestManifestCellSpans(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := fastCfg(&buf)
+	cfg.Datasets = []string{"dblp"}
+	cfg.Methods = []string{"GEBE (Poisson)"}
+	cfg.Trace = obs.NewTrace("test")
+	if _, err := Fig2(cfg); err != nil {
+		t.Fatal(err)
+	}
+	root := cfg.Trace.Root()
+	var cell *obs.Span
+	for _, c := range root.Children {
+		if c.Name == "cell" {
+			cell = c
+		}
+	}
+	if cell == nil {
+		t.Fatalf("no cell span in %+v", root.Children)
+	}
+	if cell.Attrs["method"] != "GEBE (Poisson)" || cell.Attrs["dataset"] != "dblp" {
+		t.Errorf("cell attrs wrong: %v", cell.Attrs)
+	}
+	var solver bool
+	for _, c := range cell.Children {
+		if c.Name == "gebe" {
+			solver = true
+		}
+	}
+	if !solver {
+		t.Errorf("solver span not nested under cell: %+v", cell.Children)
+	}
+}

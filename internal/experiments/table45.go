@@ -9,15 +9,19 @@ import (
 
 // Table4Row is one (method, dataset) recommendation result.
 type Table4Row struct {
-	Method, Dataset string
-	F1, NDCG, MRR   float64
-	OK              bool
+	Method  string   `json:"method"`
+	Dataset string   `json:"dataset"`
+	F1      float64  `json:"f1"`
+	NDCG    float64  `json:"ndcg"`
+	MRR     float64  `json:"mrr"`
+	Elapsed Duration `json:"elapsed_seconds"`
+	OK      bool     `json:"ok"`
 }
 
 // Table4 reproduces the paper's Table 4: top-N (N=10) recommendation on
 // the five weighted stand-ins, reporting F1, NDCG and MRR per method.
 func Table4(cfg Config) ([]Table4Row, error) {
-	cfg = cfg.withDefaults()
+	cfg, start := cfg.begin("table4")
 	const n = 10
 	names := sortedNames(cfg, gen.WeightedNames())
 	specs := Methods(cfg)
@@ -34,8 +38,8 @@ func Table4(cfg Config) ([]Table4Row, error) {
 		fmt.Fprintf(cfg.Out, "\n== Table 4: top-%d recommendation on %s (%v) ==\n", n, name, prep.train.Stats())
 		var printed [][]string
 		for _, spec := range specs {
-			u, v, elapsed, ok := timedRun(spec, prep.train, cfg.TimeBudget)
-			row := Table4Row{Method: spec.Name, Dataset: name, OK: ok}
+			u, v, elapsed, ok := timedRun(cfg, spec, prep.train, name)
+			row := Table4Row{Method: spec.Name, Dataset: name, Elapsed: Duration(elapsed), OK: ok}
 			if ok {
 				res := eval.TopN(prep.train, prep.test, u, v, n, cfg.Threads)
 				row.F1, row.NDCG, row.MRR = res.F1, res.NDCG, res.MRR
@@ -49,21 +53,24 @@ func Table4(cfg Config) ([]Table4Row, error) {
 		}
 		printTable(cfg.Out, []string{"Method", "F1@10", "NDCG@10", "MRR@10", "time"}, printed)
 	}
-	return rows, nil
+	return rows, cfg.writeManifest("table4", rows, cfg.Trace, start)
 }
 
 // Table5Row is one (method, dataset) link-prediction result.
 type Table5Row struct {
-	Method, Dataset string
-	AUCROC, AUCPR   float64
-	OK              bool
+	Method  string   `json:"method"`
+	Dataset string   `json:"dataset"`
+	AUCROC  float64  `json:"auc_roc"`
+	AUCPR   float64  `json:"auc_pr"`
+	Elapsed Duration `json:"elapsed_seconds"`
+	OK      bool     `json:"ok"`
 }
 
 // Table5 reproduces the paper's Table 5: link prediction on the five
 // unweighted stand-ins with a logistic-regression classifier over
 // concatenated embeddings, reporting AUC-ROC and AUC-PR.
 func Table5(cfg Config) ([]Table5Row, error) {
-	cfg = cfg.withDefaults()
+	cfg, start := cfg.begin("table5")
 	names := sortedNames(cfg, gen.UnweightedNames())
 	specs := Methods(cfg)
 	var rows []Table5Row
@@ -79,8 +86,8 @@ func Table5(cfg Config) ([]Table5Row, error) {
 		fmt.Fprintf(cfg.Out, "\n== Table 5: link prediction on %s (%v) ==\n", name, prep.train.Stats())
 		var printed [][]string
 		for _, spec := range specs {
-			u, v, elapsed, ok := timedRun(spec, prep.train, cfg.TimeBudget)
-			row := Table5Row{Method: spec.Name, Dataset: name, OK: ok}
+			u, v, elapsed, ok := timedRun(cfg, spec, prep.train, name)
+			row := Table5Row{Method: spec.Name, Dataset: name, Elapsed: Duration(elapsed), OK: ok}
 			if ok {
 				res, err := eval.LinkPred(prep.full, prep.train, prep.test, u, v,
 					eval.LinkPredOptions{Seed: cfg.Seed + 17, Features: cfg.LPFeatures})
@@ -99,5 +106,5 @@ func Table5(cfg Config) ([]Table5Row, error) {
 		}
 		printTable(cfg.Out, []string{"Method", "AUC-ROC", "AUC-PR", "time"}, printed)
 	}
-	return rows, nil
+	return rows, cfg.writeManifest("table5", rows, cfg.Trace, start)
 }

@@ -11,17 +11,21 @@ import (
 // varying-N study the paper reports in its technical-report appendix
 // (N ∈ {1, 5, 10, 20, 30}).
 type TableNRow struct {
-	Method, Dataset string
-	N               int
-	F1, NDCG, MRR   float64
-	OK              bool
+	Method  string   `json:"method"`
+	Dataset string   `json:"dataset"`
+	N       int      `json:"n"`
+	F1      float64  `json:"f1"`
+	NDCG    float64  `json:"ndcg"`
+	MRR     float64  `json:"mrr"`
+	Elapsed Duration `json:"elapsed_seconds"`
+	OK      bool     `json:"ok"`
 }
 
 // TableN runs the appendix experiment: top-N recommendation at several
 // cutoffs. To keep the sweep affordable it embeds each method once per
 // dataset and re-ranks for every N.
 func TableN(cfg Config, ns []int) ([]TableNRow, error) {
-	cfg = cfg.withDefaults()
+	cfg, start := cfg.begin("tablen")
 	if len(ns) == 0 {
 		ns = []int{1, 5, 10, 20, 30}
 	}
@@ -40,10 +44,10 @@ func TableN(cfg Config, ns []int) ([]TableNRow, error) {
 		fmt.Fprintf(cfg.Out, "\n== Appendix: top-N sweep on %s (%v) ==\n", name, prep.train.Stats())
 		var printed [][]string
 		for _, spec := range specs {
-			u, v, _, ok := timedRun(spec, prep.train, cfg.TimeBudget)
+			u, v, elapsed, ok := timedRun(cfg, spec, prep.train, name)
 			line := []string{spec.Name}
 			for _, n := range ns {
-				row := TableNRow{Method: spec.Name, Dataset: name, N: n, OK: ok}
+				row := TableNRow{Method: spec.Name, Dataset: name, N: n, Elapsed: Duration(elapsed), OK: ok}
 				if ok {
 					res := eval.TopN(prep.train, prep.test, u, v, n, cfg.Threads)
 					row.F1, row.NDCG, row.MRR = res.F1, res.NDCG, res.MRR
@@ -59,5 +63,5 @@ func TableN(cfg Config, ns []int) ([]TableNRow, error) {
 		}
 		printTable(cfg.Out, header, printed)
 	}
-	return rows, nil
+	return rows, cfg.writeManifest("tablen", rows, cfg.Trace, start)
 }

@@ -13,6 +13,7 @@ import (
 
 	"gebe/internal/budget"
 	"gebe/internal/dense"
+	"gebe/internal/obs"
 	"gebe/internal/sparse"
 )
 
@@ -104,7 +105,7 @@ type KSIResult struct {
 //
 // tol is the relative subspace-residual threshold; 0 selects 1e-7.
 func KSI(op Operator, k, t int, tol float64, seed uint64) KSIResult {
-	return KSIDeadline(op, k, t, tol, seed, time.Time{})
+	return KSIRun(op, KSIConfig{K: k, Sweeps: t, Tol: tol, Seed: seed})
 }
 
 // KSIDeadline is KSI with a cooperative deadline checked once per sweep;
@@ -113,7 +114,36 @@ func KSI(op Operator, k, t int, tol float64, seed uint64) KSIResult {
 // and returned, with DeadlineHit set so callers can decide whether a
 // partial result counts.
 func KSIDeadline(op Operator, k, t int, tol float64, seed uint64, deadline time.Time) KSIResult {
+	return KSIRun(op, KSIConfig{K: k, Sweeps: t, Tol: tol, Seed: seed, Deadline: deadline})
+}
+
+// KSIConfig parameterizes one KSI run.
+type KSIConfig struct {
+	// K is the subspace dimension (required, 0 < K <= op.Dim()).
+	K int
+	// Sweeps is the sweep budget t; 0 selects 200.
+	Sweeps int
+	// Tol is the relative subspace-residual threshold; 0 selects 1e-7.
+	Tol float64
+	// Seed drives the random starting block.
+	Seed uint64
+	// Deadline is a cooperative cutoff checked once per sweep; zero never
+	// fires.
+	Deadline time.Time
+	// Obs receives per-sweep telemetry (spans, residual logs, metrics,
+	// progress events). nil runs silent.
+	Obs *obs.Run
+}
+
+// KSIRun is the fully configurable entry point behind KSI/KSIDeadline.
+// When cfg.Obs is set it emits, per sweep: a "ksi.sweep" trace span, a
+// debug log line with the subspace residual, an upper bound on the
+// largest principal angle moved, the orthonormalization time, and the
+// remaining deadline slack; plus counters/histograms in the registry and
+// a Progress event.
+func KSIRun(op Operator, cfg KSIConfig) KSIResult {
 	n := op.Dim()
+	k, t, tol := cfg.K, cfg.Sweeps, cfg.Tol
 	if k <= 0 || k > n {
 		panic("linalg: KSI requires 0 < k <= Dim()")
 	}
@@ -123,33 +153,70 @@ func KSIDeadline(op Operator, k, t int, tol float64, seed uint64, deadline time.
 	if tol <= 0 {
 		tol = 1e-7
 	}
-	rng := NewRand(seed)
+	run := cfg.Obs
+	log := run.Logger()
+	reg := run.Registry()
+	sweepsTotal := reg.Counter("linalg_ksi_sweeps_total", "KSI sweeps performed")
+	sweepSeconds := reg.Histogram("linalg_ksi_sweep_seconds", "wall-clock per KSI sweep", nil)
+	orthoSeconds := reg.Histogram("linalg_orthonormalize_seconds", "wall-clock per QR orthonormalization", nil)
+	residualGauge := reg.Gauge("linalg_ksi_residual", "latest KSI subspace residual")
+
+	rng := NewRand(cfg.Seed)
 	z := dense.Orthonormalize(dense.Random(n, k, rng))
 	res := KSIResult{}
 	for sweep := 1; sweep <= t; sweep++ {
+		sweepStart := time.Now()
+		sp := run.Span("ksi.sweep")
 		q := op.Apply(z)
+		qrStart := time.Now()
 		zNew, _ := dense.QR(q)
+		qrDur := time.Since(qrStart)
 		// Subspace change: the part of the new basis outside span(z).
 		p := dense.TMul(z, zNew)      // k×k
 		proj := dense.Mul(z, p)       // n×k
 		diff := dense.Sub(zNew, proj) // residual outside the old span
-		change := diff.FrobeniusNorm() / math.Sqrt(float64(k))
+		frob := diff.FrobeniusNorm()
+		change := frob / math.Sqrt(float64(k))
 		z = zNew
 		res.Sweeps = sweep
+
+		elapsed := time.Since(sweepStart)
+		sweepsTotal.Inc()
+		sweepSeconds.Observe(elapsed.Seconds())
+		orthoSeconds.Observe(qrDur.Seconds())
+		residualGauge.Set(change)
+		sp.Set("sweep", sweep).Set("residual", change).Set("qr_seconds", qrDur.Seconds())
+		sp.End()
+		if log.Enabled(obs.LevelDebug) {
+			// The Frobenius norm of the out-of-span residual bounds the sine
+			// of the largest principal angle the subspace moved this sweep.
+			angle := math.Asin(math.Min(1, frob))
+			args := []any{"sweep", sweep, "of", t, "residual", change,
+				"angle_bound_rad", angle, "qr_s", qrDur.Seconds(), "sweep_s", elapsed.Seconds()}
+			if !cfg.Deadline.IsZero() {
+				args = append(args, "deadline_slack_s", time.Until(cfg.Deadline).Seconds())
+			}
+			log.Debug("ksi: sweep", args...)
+		}
+		run.Emit(obs.Progress{Phase: "ksi.sweep", Step: sweep, Total: t, Residual: change, Elapsed: elapsed})
+
 		if change < tol {
 			res.Converged = true
 			break
 		}
-		if budget.Exceeded(deadline) {
+		if budget.Exceeded(cfg.Deadline) {
 			res.DeadlineHit = true
+			log.Warn("ksi: deadline hit", "sweep", sweep, "residual", change)
 			break
 		}
 	}
 	// Rayleigh–Ritz: diagonalize the projected operator B = Zᵀ(H·Z) and
 	// rotate Z onto the Ritz vectors. SymEig returns descending order.
+	rr := run.Span("ksi.rayleigh_ritz")
 	hz := op.Apply(z)
 	b := dense.TMul(z, hz)
 	vals, c := dense.SymEig(b)
+	rr.End()
 	for i := range vals {
 		if vals[i] < 0 {
 			vals[i] = 0 // H is PSD; clamp round-off
@@ -182,6 +249,29 @@ type RSVDResult struct {
 // orthonormalized blockwise and then globally; the small projected
 // operator Kᵀ(WWᵀ)K is solved exactly by Jacobi.
 func RandomizedSVD(w *sparse.CSR, k int, eps float64, seed uint64, threads int) RSVDResult {
+	return RandomizedSVDRun(w, SVDConfig{K: k, Eps: eps, Seed: seed, Threads: threads})
+}
+
+// SVDConfig parameterizes one randomized block-Krylov SVD run.
+type SVDConfig struct {
+	// K is the number of singular pairs (required).
+	K int
+	// Eps is the relative spectral error target; 0 selects 0.1.
+	Eps float64
+	// Seed drives the Gaussian test matrix.
+	Seed uint64
+	// Threads caps SpMM parallelism.
+	Threads int
+	// Obs receives per-block telemetry; nil runs silent.
+	Obs *obs.Run
+}
+
+// RandomizedSVDRun is the configurable entry point behind RandomizedSVD.
+// With cfg.Obs set it emits one "rsvd.block" span + debug log + Progress
+// event per Krylov expansion step, and spans around the global QR, the
+// projection and the dense eigensolve.
+func RandomizedSVDRun(w *sparse.CSR, cfg SVDConfig) RSVDResult {
+	k, eps, seed, threads := cfg.K, cfg.Eps, cfg.Seed, cfg.Threads
 	minDim := w.Rows
 	if w.Cols < minDim {
 		minDim = w.Cols
@@ -226,22 +316,52 @@ func RandomizedSVD(w *sparse.CSR, k int, eps float64, seed uint64, threads int) 
 			}
 		}
 	}
+	run := cfg.Obs
+	log := run.Logger()
+	reg := run.Registry()
+	blocksTotal := reg.Counter("linalg_rsvd_blocks_total", "Krylov expansion steps performed")
+	blockSeconds := reg.Histogram("linalg_rsvd_block_seconds", "wall-clock per Krylov expansion step", nil)
+	orthoSeconds := reg.Histogram("linalg_orthonormalize_seconds", "wall-clock per QR orthonormalization", nil)
+
 	rng := NewRand(seed)
 	g := dense.Random(w.Cols, b, rng)
+	sp := run.Span("rsvd.block")
+	blockStart := time.Now()
 	block := dense.Orthonormalize(w.MulDense(g, threads))
+	sp.Set("block", 0).Set("of", q)
+	sp.End()
+	log.Debug("rsvd: seed block", "cols", b, "krylov_dim", (q+1)*b, "block_s", time.Since(blockStart).Seconds())
+	run.Emit(obs.Progress{Phase: "rsvd.block", Step: 1, Total: q + 1, Elapsed: time.Since(blockStart)})
 	// Assemble the Krylov matrix K (Rows×(q+1)b), blockwise orthonormalized.
 	kry := dense.New(w.Rows, (q+1)*b)
 	copyBlock(kry, block, 0)
 	for i := 1; i <= q; i++ {
+		blockStart = time.Now()
+		sp = run.Span("rsvd.block")
 		block = dense.Orthonormalize(applyGram(w, block, threads))
 		copyBlock(kry, block, i*b)
+		elapsed := time.Since(blockStart)
+		sp.Set("block", i).Set("of", q)
+		sp.End()
+		blocksTotal.Inc()
+		blockSeconds.Observe(elapsed.Seconds())
+		log.Debug("rsvd: block", "block", i, "of", q, "block_s", elapsed.Seconds())
+		run.Emit(obs.Progress{Phase: "rsvd.block", Step: i + 1, Total: q + 1, Elapsed: elapsed})
 	}
+	qrStart := time.Now()
+	sp = run.Span("rsvd.global_qr")
 	kq := dense.Orthonormalize(kry)
+	sp.End()
+	orthoSeconds.ObserveSince(qrStart)
 	// Project: M = Kᵀ (WWᵀ) K = (WᵀK)ᵀ (WᵀK).
+	sp = run.Span("rsvd.project")
 	wtk := w.TMulDense(kq, threads)
 	m := dense.TMul(wtk, wtk)
+	sp.End()
+	sp = run.Span("rsvd.eig")
 	vals, vecs := dense.SymEig(m)
 	u := dense.Mul(kq, vecs.SliceCols(0, k))
+	sp.End()
 	sigma := make([]float64, k)
 	for i := 0; i < k; i++ {
 		v := vals[i]

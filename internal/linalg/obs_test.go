@@ -1,0 +1,85 @@
+package linalg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gebe/internal/obs"
+)
+
+// TestKSIRunObservability verifies the instrumented path reports every
+// sweep consistently across all four sinks.
+func TestKSIRunObservability(t *testing.T) {
+	a := psdRandom(40, 3)
+	var buf bytes.Buffer
+	tr := obs.NewTrace("test")
+	reg := obs.NewRegistry()
+	var events []obs.Progress
+	run := &obs.Run{
+		Log:      obs.NewTextLogger(&buf, obs.LevelDebug),
+		Trace:    tr,
+		Metrics:  reg,
+		Progress: func(p obs.Progress) { events = append(events, p) },
+	}
+	res := KSIRun(denseOp{a}, KSIConfig{K: 4, Sweeps: 50, Tol: 1e-10, Seed: 3, Obs: run})
+	if res.Sweeps == 0 {
+		t.Fatal("no sweeps ran")
+	}
+	if len(events) != res.Sweeps {
+		t.Errorf("progress events = %d, want %d (one per sweep)", len(events), res.Sweeps)
+	}
+	if events[0].Phase != "ksi.sweep" || events[0].Step != 1 {
+		t.Errorf("first event = %+v", events[0])
+	}
+	if got := reg.Counter("linalg_ksi_sweeps_total", "").Value(); got != float64(res.Sweeps) {
+		t.Errorf("sweep counter = %v, want %d", got, res.Sweeps)
+	}
+	if got := reg.Histogram("linalg_orthonormalize_seconds", "", nil).Count(); got != uint64(res.Sweeps) {
+		t.Errorf("ortho timer count = %d, want %d", got, res.Sweeps)
+	}
+	root := tr.Root()
+	var sweeps, rr int
+	for _, c := range root.Children {
+		switch c.Name {
+		case "ksi.sweep":
+			sweeps++
+		case "ksi.rayleigh_ritz":
+			rr++
+		}
+	}
+	if sweeps != res.Sweeps || rr != 1 {
+		t.Errorf("trace has %d sweep spans and %d rayleigh_ritz spans, want %d and 1", sweeps, rr, res.Sweeps)
+	}
+	if out := buf.String(); !strings.Contains(out, "msg=\"ksi: sweep\"") || !strings.Contains(out, "residual=") {
+		t.Errorf("debug log missing sweep telemetry:\n%s", out)
+	}
+}
+
+// TestRandomizedSVDRunObservability checks block progress events and
+// phase spans, and that the instrumented path returns identical results
+// to the silent one.
+func TestRandomizedSVDRunObservability(t *testing.T) {
+	w := randomSparse(t, 60, 40, 400, 11)
+	var events []obs.Progress
+	tr := obs.NewTrace("test")
+	run := &obs.Run{Trace: tr, Metrics: obs.NewRegistry(),
+		Progress: func(p obs.Progress) { events = append(events, p) }}
+	got := RandomizedSVDRun(w, SVDConfig{K: 5, Eps: 0.1, Seed: 7, Threads: 1, Obs: run})
+	want := RandomizedSVD(w, 5, 0.1, 7, 1)
+	for i := range want.Sigma {
+		if got.Sigma[i] != want.Sigma[i] {
+			t.Fatalf("instrumentation changed results: sigma[%d] = %v vs %v", i, got.Sigma[i], want.Sigma[i])
+		}
+	}
+	if len(events) != got.Iterations+1 {
+		t.Errorf("progress events = %d, want %d (seed block + expansions)", len(events), got.Iterations+1)
+	}
+	names := map[string]int{}
+	for _, c := range tr.Root().Children {
+		names[c.Name]++
+	}
+	if names["rsvd.block"] != got.Iterations+1 || names["rsvd.global_qr"] != 1 || names["rsvd.project"] != 1 || names["rsvd.eig"] != 1 {
+		t.Errorf("span census wrong: %v", names)
+	}
+}

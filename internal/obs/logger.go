@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"time"
+)
+
+// Logger is a leveled key=value logger backed by a slog.Handler. The nil
+// *Logger is a valid, fully disabled logger: every method on it returns
+// immediately, which is what makes instrumentation free when off.
+type Logger struct {
+	h slog.Handler
+}
+
+// Level aliases so instrumented packages need not import log/slog.
+const (
+	LevelDebug = slog.LevelDebug
+	LevelInfo  = slog.LevelInfo
+	LevelWarn  = slog.LevelWarn
+	LevelError = slog.LevelError
+)
+
+// NewLogger wraps an arbitrary slog.Handler.
+func NewLogger(h slog.Handler) *Logger {
+	if h == nil {
+		return nil
+	}
+	return &Logger{h: h}
+}
+
+// NewTextLogger returns a key=value text logger writing to w at the
+// given minimum level (slog.LevelDebug, slog.LevelInfo, ...).
+func NewTextLogger(w io.Writer, level slog.Level) *Logger {
+	return &Logger{h: slog.NewTextHandler(w, &slog.HandlerOptions{Level: level})}
+}
+
+// Enabled reports whether records at lvl would be emitted. Nil-safe;
+// callers guard expensive attribute computation with it.
+func (l *Logger) Enabled(lvl slog.Level) bool {
+	return l != nil && l.h.Enabled(context.Background(), lvl)
+}
+
+// Log emits one record with alternating key/value args, slog-style.
+func (l *Logger) Log(lvl slog.Level, msg string, args ...any) {
+	if !l.Enabled(lvl) {
+		return
+	}
+	rec := slog.NewRecord(time.Now(), lvl, msg, 0)
+	rec.Add(args...)
+	_ = l.h.Handle(context.Background(), rec)
+}
+
+// Debug logs at slog.LevelDebug.
+func (l *Logger) Debug(msg string, args ...any) { l.Log(slog.LevelDebug, msg, args...) }
+
+// Info logs at slog.LevelInfo.
+func (l *Logger) Info(msg string, args ...any) { l.Log(slog.LevelInfo, msg, args...) }
+
+// Warn logs at slog.LevelWarn.
+func (l *Logger) Warn(msg string, args ...any) { l.Log(slog.LevelWarn, msg, args...) }
+
+// Error logs at slog.LevelError.
+func (l *Logger) Error(msg string, args ...any) { l.Log(slog.LevelError, msg, args...) }
+
+// With returns a logger whose records carry the given attributes.
+func (l *Logger) With(args ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	return &Logger{h: l.h.WithAttrs(argsToAttrs(args))}
+}
+
+func argsToAttrs(args []any) []slog.Attr {
+	var attrs []slog.Attr
+	for i := 0; i+1 < len(args); i += 2 {
+		key, ok := args[i].(string)
+		if !ok {
+			key = "!BADKEY"
+		}
+		attrs = append(attrs, slog.Any(key, args[i+1]))
+	}
+	return attrs
+}

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestLoggerLevels(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewTextLogger(&buf, slog.LevelInfo)
+	if l.Enabled(slog.LevelDebug) {
+		t.Error("debug must be disabled at info level")
+	}
+	if !l.Enabled(slog.LevelInfo) || !l.Enabled(slog.LevelError) {
+		t.Error("info/error must be enabled at info level")
+	}
+	l.Debug("hidden", "k", 1)
+	l.Info("shown", "sweep", 3, "residual", 0.25)
+	l.Warn("warned")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Errorf("debug record leaked: %q", out)
+	}
+	if !strings.Contains(out, "msg=shown") || !strings.Contains(out, "sweep=3") || !strings.Contains(out, "residual=0.25") {
+		t.Errorf("info record missing key=value attrs: %q", out)
+	}
+	if !strings.Contains(out, "level=WARN") {
+		t.Errorf("warn level missing: %q", out)
+	}
+}
+
+func TestLoggerNilSafe(t *testing.T) {
+	var l *Logger
+	if l.Enabled(slog.LevelError) {
+		t.Error("nil logger must report disabled")
+	}
+	// All of these must be no-ops, not panics.
+	l.Debug("x")
+	l.Info("x", "k", "v")
+	l.Warn("x")
+	l.Error("x")
+	if l.With("a", 1) != nil {
+		t.Error("nil.With must stay nil")
+	}
+}
+
+func TestLoggerWith(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewTextLogger(&buf, slog.LevelDebug).With("component", "gebe")
+	l.Debug("tick")
+	if out := buf.String(); !strings.Contains(out, "component=gebe") {
+		t.Errorf("With attr missing: %q", out)
+	}
+}
+
+func TestDefaultLogger(t *testing.T) {
+	if Default() != nil {
+		t.Fatal("default logger must start disabled")
+	}
+	var buf bytes.Buffer
+	SetDefault(NewTextLogger(&buf, slog.LevelInfo))
+	defer SetDefault(nil)
+	Default().Info("via default")
+	if !strings.Contains(buf.String(), "via default") {
+		t.Errorf("default logger did not write: %q", buf.String())
+	}
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterSemantics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "requests served")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-3) // counters are monotone; negative deltas ignored
+	if got := c.Value(); got != 3.5 {
+		t.Errorf("counter = %v, want 3.5", got)
+	}
+	if r.Counter("requests_total", "") != c {
+		t.Error("get-or-create must return the same handle")
+	}
+}
+
+func TestGaugeSemantics(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("queue_depth", "")
+	g.Set(10)
+	g.Add(-4)
+	if got := g.Value(); got != 6 {
+		t.Errorf("gauge = %v, want 6", got)
+	}
+}
+
+func TestHistogramSemantics(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if got := h.Sum(); got != 55.65 {
+		t.Errorf("sum = %v, want 55.65", got)
+	}
+}
+
+func TestPrometheusText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "bees").Add(2)
+	r.Gauge("a_gauge", "").Set(1.5)
+	h := r.Histogram("lat", "latency", []float64{0.5, 2})
+	h.Observe(0.4)
+	h.Observe(1)
+	h.Observe(99)
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE a_gauge gauge\na_gauge 1.5\n",
+		"# HELP b_total bees\n# TYPE b_total counter\nb_total 2\n",
+		"# TYPE lat histogram\n",
+		"lat_bucket{le=\"0.5\"} 1\n",
+		"lat_bucket{le=\"2\"} 2\n",
+		"lat_bucket{le=\"+Inf\"} 3\n",
+		"lat_sum 100.4\n",
+		"lat_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus text missing %q in:\n%s", want, out)
+		}
+	}
+	// Names must be sorted.
+	if strings.Index(out, "a_gauge") > strings.Index(out, "b_total") {
+		t.Errorf("metrics not sorted by name:\n%s", out)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "").Add(7)
+	h := r.Histogram("h", "", nil)
+	h.Observe(0.2)
+	snap := r.Snapshot()
+	if snap["c"] != 7.0 {
+		t.Errorf("snapshot counter = %v", snap["c"])
+	}
+	hv, ok := snap["h"].(map[string]any)
+	if !ok || hv["count"] != uint64(1) {
+		t.Errorf("snapshot histogram = %v", snap["h"])
+	}
+}
+
+// TestRegistryConcurrent exercises registration and updates from many
+// goroutines; run with -race to verify the registry's synchronization.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("shared_total", "").Inc()
+				r.Gauge("shared_gauge", "").Set(float64(i))
+				r.Histogram("shared_hist", "", nil).Observe(float64(i) / 100)
+				if i%100 == 0 {
+					var sb strings.Builder
+					if _, err := r.WriteTo(&sb); err != nil {
+						t.Error(err)
+						return
+					}
+					r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total", "").Value(); got != 4000 {
+		t.Errorf("concurrent counter = %v, want 4000", got)
+	}
+	if got := r.Histogram("shared_hist", "", nil).Count(); got != 4000 {
+		t.Errorf("concurrent histogram count = %d, want 4000", got)
+	}
+}
+
+func TestNilRegistrySafe(t *testing.T) {
+	var r *Registry
+	r.Counter("x", "").Inc()
+	r.Gauge("x", "").Set(1)
+	r.Histogram("x", "", nil).Observe(1)
+	if _, err := r.WriteTo(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Snapshot()) != 0 {
+		t.Error("nil registry snapshot must be empty")
+	}
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	runtimemetrics "runtime/metrics"
+	"sync"
+	"time"
+)
+
+// Trace is a per-run tree of phase spans. Spans nest by call order: a
+// span started while another is open becomes its child, so sequential
+// solver code gets a faithful phase tree with no context plumbing. The
+// tree is guarded by a mutex, making concurrent StartSpan/End calls safe
+// (they attach to the innermost open span at the time of the call).
+//
+// A nil *Trace is valid and free: StartSpan returns a nil *Span whose
+// methods are all no-ops.
+type Trace struct {
+	mu    sync.Mutex
+	root  *Span
+	stack []*Span
+}
+
+// Span is one timed phase. All methods are safe on a nil receiver.
+type Span struct {
+	Name     string         `json:"name"`
+	Start    time.Time      `json:"start"`
+	Duration time.Duration  `json:"duration_ns"`
+	Allocs   uint64         `json:"alloc_bytes,omitempty"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+	Children []*Span        `json:"children,omitempty"`
+
+	tr          *Trace
+	startAllocs uint64
+	ended       bool
+}
+
+// NewTrace returns a trace whose root span is open from now.
+func NewTrace(name string) *Trace {
+	t := &Trace{}
+	t.root = &Span{Name: name, Start: time.Now(), tr: t, startAllocs: heapAllocBytes()}
+	t.stack = []*Span{t.root}
+	return t
+}
+
+// StartSpan opens a child of the innermost open span.
+func (t *Trace) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{Name: name, Start: time.Now(), tr: t, startAllocs: heapAllocBytes()}
+	t.mu.Lock()
+	parent := t.stack[len(t.stack)-1]
+	parent.Children = append(parent.Children, s)
+	t.stack = append(t.stack, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Set attaches an attribute to the span (rendered into the JSON tree).
+func (s *Span) Set(key string, v any) *Span {
+	if s == nil {
+		return nil
+	}
+	s.tr.mu.Lock()
+	if s.Attrs == nil {
+		s.Attrs = make(map[string]any)
+	}
+	s.Attrs[key] = v
+	s.tr.mu.Unlock()
+	return s
+}
+
+// End closes the span, recording wall-clock duration and heap bytes
+// allocated while it was open. Ending out of order closes every span
+// opened after it as well.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	allocs := heapAllocBytes()
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	for i := len(s.tr.stack) - 1; i >= 1; i-- {
+		open := s.tr.stack[i]
+		if !open.ended {
+			open.ended = true
+			open.Duration = now.Sub(open.Start)
+			open.Allocs = allocs - open.startAllocs
+		}
+		if open == s {
+			s.tr.stack = s.tr.stack[:i]
+			return
+		}
+	}
+	// Already ended (or root): nothing to pop.
+}
+
+// Root closes the root span (fixing the run's total duration) and
+// returns the completed tree.
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	if !t.root.ended {
+		t.root.ended = true
+		t.root.Duration = time.Since(t.root.Start)
+		t.root.Allocs = heapAllocBytes() - t.root.startAllocs
+	}
+	t.stack = t.stack[:1]
+	t.mu.Unlock()
+	return t.root
+}
+
+// WriteJSON serializes the (closed) trace tree as indented JSON.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	root := t.Root()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(root)
+}
+
+// WriteFile writes the trace tree to a JSON file.
+func (t *Trace) WriteFile(path string) error {
+	if t == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// heapAllocBytes reads the process's cumulative heap allocation counter
+// (cheap, unlike runtime.ReadMemStats, which stops the world).
+func heapAllocBytes() uint64 {
+	sample := []runtimemetrics.Sample{{Name: "/gc/heap/allocs:bytes"}}
+	runtimemetrics.Read(sample)
+	if sample[0].Value.Kind() != runtimemetrics.KindUint64 {
+		return 0
+	}
+	return sample[0].Value.Uint64()
+}

@@ -11,8 +11,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"gebe/internal/dense"
+	"gebe/internal/obs"
 )
 
 // Entry is a coordinate-form (COO) element used to build a CSR matrix.
@@ -200,12 +203,45 @@ func (m *CSR) ToDense() *dense.Matrix {
 	return out
 }
 
+// kernelMetrics holds pre-resolved metric handles for the SpMM hot
+// paths. Kernel telemetry is off by default — the only per-call cost is
+// one atomic pointer load — and is switched on by EnableMetrics (wired
+// to -v/-vv/-debug-addr in the commands).
+type kernelMetrics struct {
+	mulSeconds, tmulSeconds *obs.Histogram
+	mulCalls, tmulCalls     *obs.Counter
+	fma                     *obs.Counter
+}
+
+var kernels atomic.Pointer[kernelMetrics]
+
+// EnableMetrics records SpMM kernel timings and multiply-add counts into
+// r; nil disables collection again.
+func EnableMetrics(r *obs.Registry) {
+	if r == nil {
+		kernels.Store(nil)
+		return
+	}
+	kernels.Store(&kernelMetrics{
+		mulSeconds:  r.Histogram("sparse_spmm_seconds", "wall-clock of W·B products", nil),
+		tmulSeconds: r.Histogram("sparse_spmm_t_seconds", "wall-clock of Wᵀ·B products", nil),
+		mulCalls:    r.Counter("sparse_spmm_calls_total", "number of W·B products"),
+		tmulCalls:   r.Counter("sparse_spmm_t_calls_total", "number of Wᵀ·B products"),
+		fma:         r.Counter("sparse_spmm_fma_total", "multiply-adds performed (nnz × block cols)"),
+	})
+}
+
 // MulDense computes m · b for dense b, sharding output rows across at most
 // threads goroutines (threads <= 1 means sequential). This is the
 // O(|E|·k) kernel at the heart of Algorithm 1.
 func (m *CSR) MulDense(b *dense.Matrix, threads int) *dense.Matrix {
 	if m.Cols != b.Rows {
 		panic(fmt.Sprintf("sparse: MulDense shape mismatch %dx%d * %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	km := kernels.Load()
+	var t0 time.Time
+	if km != nil {
+		t0 = time.Now()
 	}
 	out := dense.New(m.Rows, b.Cols)
 	parallelRows(m.Rows, threads, func(lo, hi int) {
@@ -220,6 +256,11 @@ func (m *CSR) MulDense(b *dense.Matrix, threads int) *dense.Matrix {
 			}
 		}
 	})
+	if km != nil {
+		km.mulSeconds.ObserveSince(t0)
+		km.mulCalls.Inc()
+		km.fma.Add(float64(m.NNZ()) * float64(b.Cols))
+	}
 	return out
 }
 
@@ -231,10 +272,16 @@ func (m *CSR) TMulDense(b *dense.Matrix, threads int) *dense.Matrix {
 	if m.Rows != b.Rows {
 		panic(fmt.Sprintf("sparse: TMulDense shape mismatch (%dx%d)ᵀ * %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
 	}
+	km := kernels.Load()
+	var t0 time.Time
+	if km != nil {
+		t0 = time.Now()
+	}
 	nw := workerCount(m.Rows, threads)
 	if nw <= 1 {
 		out := dense.New(m.Cols, b.Cols)
 		m.tMulRange(b, out, 0, m.Rows)
+		km.recordTMul(t0, m, b)
 		return out
 	}
 	partials := make([]*dense.Matrix, nw)
@@ -255,7 +302,18 @@ func (m *CSR) TMulDense(b *dense.Matrix, threads int) *dense.Matrix {
 	for w := 1; w < nw; w++ {
 		out.AddScaled(1, partials[w])
 	}
+	km.recordTMul(t0, m, b)
 	return out
+}
+
+// recordTMul is nil-safe so the disabled path stays branch-only.
+func (km *kernelMetrics) recordTMul(t0 time.Time, m *CSR, b *dense.Matrix) {
+	if km == nil {
+		return
+	}
+	km.tmulSeconds.ObserveSince(t0)
+	km.tmulCalls.Inc()
+	km.fma.Add(float64(m.NNZ()) * float64(b.Cols))
 }
 
 func (m *CSR) tMulRange(b, out *dense.Matrix, lo, hi int) {
