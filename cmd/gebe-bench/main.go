@@ -49,6 +49,7 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "random seed")
 		threads     = flag.Int("threads", 1, "solver threads (paper uses 1)")
 		budget      = flag.Duration("budget", 60*time.Second, "per-method time budget (paper: 3 days)")
+		ddl         = flag.Duration("deadline", 0, "overall harness budget; per-cell deadlines are clamped to it (0 = unlimited)")
 		datasets    = flag.String("datasets", "", "comma-separated dataset filter")
 		methods     = flag.String("methods", "", "comma-separated method filter")
 		jsonPath    = flag.String("json", "", "write machine-readable results to this file (or BENCH_<exp>.json files if a directory)")
@@ -69,6 +70,9 @@ func main() {
 		K: *k, Seed: *seed, Threads: *threads, TimeBudget: *budget,
 		Datasets: splitList(*datasets), Methods: splitList(*methods),
 		Out: os.Stdout, ManifestDir: *manifestDir, Trace: obs.DefaultTrace(),
+	}
+	if *ddl > 0 {
+		cfg.Deadline = time.Now().Add(*ddl)
 	}
 	var report []benchResult
 	run := func(name string, f func(experiments.Config) (any, error)) {

@@ -14,8 +14,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"gebe/internal/bigraph"
+	"gebe/internal/budget"
 	"gebe/internal/gen"
 	"gebe/internal/obs"
 )
@@ -34,6 +36,7 @@ func main() {
 		wflag   = flag.Bool("weighted", false, "ER: weighted edges")
 		split   = flag.Float64("split", 0, "also write <out>.train/<out>.test with this train fraction")
 		seed    = flag.Uint64("seed", 1, "random seed")
+		ddl     = flag.Duration("deadline", 0, "cooperative wall-clock budget for generation (0 = unlimited)")
 	)
 	cli := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -42,6 +45,10 @@ func main() {
 		fail(err)
 	}
 	defer stop()
+	var deadline time.Time
+	if *ddl > 0 {
+		deadline = time.Now().Add(*ddl)
+	}
 
 	switch {
 	case *list:
@@ -56,6 +63,9 @@ func main() {
 		}
 	case *all:
 		for _, d := range gen.Datasets() {
+			if err := budget.Check(deadline); err != nil {
+				fail(fmt.Errorf("before %s: %w", d.Name, err))
+			}
 			g, err := d.Build(*seed)
 			if err != nil {
 				fail(err)

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"gebe"
 	"gebe/internal/bigraph"
@@ -35,6 +36,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed (negative sampling)")
 		threads  = flag.Int("threads", 4, "ranking threads")
 		features = flag.String("features", "concat", "linkpred features: concat | hadamard | both")
+		ddl      = flag.Duration("deadline", 0, "cooperative wall-clock budget for the evaluation (0 = unlimited)")
 	)
 	cli := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -64,10 +66,21 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	var deadline time.Time
+	if *ddl > 0 {
+		deadline = time.Now().Add(*ddl)
+	}
 
 	switch *task {
 	case "topn":
-		res := eval.TopN(train, test, emb.U, emb.V, *n, *threads)
+		res, err := eval.TopNRun(train, test, emb.U, emb.V,
+			eval.TopNConfig{N: *n, Threads: *threads, Deadline: deadline})
+		if res.Skipped > 0 {
+			fmt.Fprintf(os.Stderr, "gebe-eval: skipped %d test edges outside the training graph\n", res.Skipped)
+		}
+		if err != nil {
+			fail(err)
+		}
 		fmt.Printf("users=%d F1@%d=%.4f NDCG@%d=%.4f MRR@%d=%.4f\n",
 			res.Users, *n, res.F1, *n, res.NDCG, *n, res.MRR)
 	case "linkpred":
@@ -89,7 +102,7 @@ func main() {
 			fail(fmt.Errorf("unknown feature mode %q", *features))
 		}
 		res, err := eval.LinkPred(full, train, test, emb.U, emb.V,
-			eval.LinkPredOptions{Seed: *seed, Features: mode})
+			eval.LinkPredOptions{Seed: *seed, Features: mode, Deadline: deadline})
 		if err != nil {
 			fail(err)
 		}

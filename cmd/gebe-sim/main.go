@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"gebe"
 	"gebe/internal/core"
@@ -38,6 +39,7 @@ func main() {
 		lambda  = flag.Float64("lambda", 1, "Poisson rate")
 		alpha   = flag.Float64("alpha", 0.5, "Geometric decay")
 		tau     = flag.Int("tau", 20, "path half-length truncation")
+		ddl     = flag.Duration("deadline", 0, "cooperative wall-clock budget for the queries (0 = unlimited)")
 	)
 	cli := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -70,6 +72,11 @@ func main() {
 		fail(fmt.Errorf("unknown pmf %q", *pmfName))
 	}
 
+	var deadline time.Time
+	if *ddl > 0 {
+		deadline = time.Now().Add(*ddl)
+	}
+
 	uIdx := indexOf(g.ULabels)
 	vIdx := indexOf(g.VLabels)
 	lookup := func(idx map[string]int, name, side string) int {
@@ -83,7 +90,7 @@ func main() {
 	ran := false
 	if *mhs != "" {
 		a, b := splitPair(*mhs)
-		s, err := core.MHSQuery(g, om, *tau, lookup(uIdx, a, "U"), lookup(uIdx, b, "U"))
+		s, err := core.MHSQuery(g, om, *tau, lookup(uIdx, a, "U"), lookup(uIdx, b, "U"), deadline)
 		if err != nil {
 			fail(err)
 		}
@@ -92,7 +99,7 @@ func main() {
 	}
 	if *mhsv != "" {
 		a, b := splitPair(*mhsv)
-		s, err := core.MHSQueryV(g, om, *tau, lookup(vIdx, a, "V"), lookup(vIdx, b, "V"))
+		s, err := core.MHSQueryV(g, om, *tau, lookup(vIdx, a, "V"), lookup(vIdx, b, "V"), deadline)
 		if err != nil {
 			fail(err)
 		}
@@ -101,7 +108,7 @@ func main() {
 	}
 	if *mhp != "" {
 		a, b := splitPair(*mhp)
-		p, err := core.MHPQuery(g, om, *tau, lookup(uIdx, a, "U"), lookup(vIdx, b, "V"))
+		p, err := core.MHPQuery(g, om, *tau, lookup(uIdx, a, "U"), lookup(vIdx, b, "V"), deadline)
 		if err != nil {
 			fail(err)
 		}
@@ -110,7 +117,7 @@ func main() {
 	}
 	if *similar != "" {
 		i := lookup(uIdx, *similar, "U")
-		ids, sims, err := core.TopSimilar(g, om, *tau, i, *top)
+		ids, sims, err := core.TopSimilar(g, om, *tau, i, *top, deadline)
 		if err != nil {
 			fail(err)
 		}

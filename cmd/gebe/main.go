@@ -38,6 +38,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "random seed")
 		threads = flag.Int("threads", 1, "solver threads")
 		noScale = flag.Bool("noscale", false, "disable spectral scaling of W")
+		ddl     = flag.Duration("deadline", 0, "cooperative wall-clock budget for the solver (0 = unlimited)")
 	)
 	cli := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -64,6 +65,9 @@ func main() {
 		K: *k, Lambda: *lambda, Tau: *tau, Iters: *iters, Epsilon: *epsilon,
 		Seed: *seed, Threads: *threads, NoScale: *noScale,
 	}
+	if *ddl > 0 {
+		opt.Deadline = time.Now().Add(*ddl)
+	}
 	start := time.Now()
 	var emb *gebe.Embedding
 	switch *method {
@@ -83,7 +87,7 @@ func main() {
 	case "mhs-bne":
 		emb, err = gebe.MHSBNE(g, opt)
 	default:
-		emb, err = trainBaseline(*method, g, *k, *seed, *threads)
+		emb, err = trainBaseline(*method, g, *k, *seed, *threads, opt.Deadline)
 	}
 	if err != nil {
 		fail(err)
@@ -94,7 +98,7 @@ func main() {
 	}
 }
 
-func trainBaseline(name string, g *gebe.Graph, k int, seed uint64, threads int) (*gebe.Embedding, error) {
+func trainBaseline(name string, g *gebe.Graph, k int, seed uint64, threads int, deadline time.Time) (*gebe.Embedding, error) {
 	displayNames := map[string]string{
 		"deepwalk": "DeepWalk", "node2vec": "node2vec", "line": "LINE",
 		"nrp": "NRP", "bine": "BiNE", "bigi": "BiGI", "bpr": "BPR",
@@ -109,7 +113,7 @@ func trainBaseline(name string, g *gebe.Graph, k int, seed uint64, threads int) 
 		return nil, err
 	}
 	var u, v *dense.Matrix
-	u, v, err = m.Train(g, k, seed, threads, time.Time{})
+	u, v, err = m.Train(g, k, seed, threads, deadline)
 	if err != nil {
 		return nil, err
 	}

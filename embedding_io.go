@@ -13,11 +13,16 @@ import (
 )
 
 // WriteEmbedding serializes an embedding as TSV: a header line
-// "#gebe <method> <|U|> <|V|> <k>", then one line per node —
+// "#gebe <method> <|U|> <|V|> <k>", optional "#meta <key> <values...>"
+// lines carrying the solver diagnostics (eigenvalues, σ₁ scale, sweep
+// counts, convergence, stop reason), then one line per node —
 // "u <idx> <k floats>" for the U side followed by "v <idx> <k floats>".
 func WriteEmbedding(w io.Writer, e *Embedding) error {
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintf(bw, "#gebe %s %d %d %d\n", e.Method, e.U.Rows, e.V.Rows, e.K()); err != nil {
+		return fmt.Errorf("gebe: writing embedding: %w", err)
+	}
+	if err := writeMeta(bw, e); err != nil {
 		return fmt.Errorf("gebe: writing embedding: %w", err)
 	}
 	write := func(side string, m *dense.Matrix) error {
@@ -43,6 +48,98 @@ func WriteEmbedding(w io.Writer, e *Embedding) error {
 		return fmt.Errorf("gebe: writing embedding: %w", err)
 	}
 	return bw.Flush()
+}
+
+// writeMeta emits the optional "#meta" diagnostic lines. Zero-valued
+// fields are omitted so embeddings from external tools stay minimal.
+func writeMeta(bw *bufio.Writer, e *Embedding) error {
+	if e.SigmaScale != 0 {
+		if _, err := fmt.Fprintf(bw, "#meta sigma_scale %.17g\n", e.SigmaScale); err != nil {
+			return err
+		}
+	}
+	if e.Sweeps != 0 {
+		if _, err := fmt.Fprintf(bw, "#meta sweeps %d\n", e.Sweeps); err != nil {
+			return err
+		}
+	}
+	if e.SweepsSaved != 0 {
+		if _, err := fmt.Fprintf(bw, "#meta sweeps_saved %d\n", e.SweepsSaved); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(bw, "#meta converged %t\n", e.Converged); err != nil {
+		return err
+	}
+	if e.StopReason != "" {
+		if _, err := fmt.Fprintf(bw, "#meta stop_reason %s\n", e.StopReason); err != nil {
+			return err
+		}
+	}
+	if len(e.Values) > 0 {
+		if _, err := fmt.Fprintf(bw, "#meta values"); err != nil {
+			return err
+		}
+		for _, v := range e.Values {
+			if _, err := fmt.Fprintf(bw, " %.17g", v); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseMeta applies one "#meta" line to e. Unknown keys are ignored so
+// newer writers stay readable by older readers and vice versa.
+func parseMeta(e *core.Embedding, fields []string, line int) error {
+	if len(fields) < 3 {
+		return fmt.Errorf("gebe: line %d: #meta needs a key and a value", line)
+	}
+	key, vals := fields[1], fields[2:]
+	bad := func(v string) error {
+		return fmt.Errorf("gebe: line %d: bad #meta %s value %q", line, key, v)
+	}
+	switch key {
+	case "sigma_scale":
+		x, err := strconv.ParseFloat(vals[0], 64)
+		if err != nil {
+			return bad(vals[0])
+		}
+		e.SigmaScale = x
+	case "sweeps":
+		n, err := strconv.Atoi(vals[0])
+		if err != nil {
+			return bad(vals[0])
+		}
+		e.Sweeps = n
+	case "sweeps_saved":
+		n, err := strconv.Atoi(vals[0])
+		if err != nil {
+			return bad(vals[0])
+		}
+		e.SweepsSaved = n
+	case "converged":
+		b, err := strconv.ParseBool(vals[0])
+		if err != nil {
+			return bad(vals[0])
+		}
+		e.Converged = b
+	case "stop_reason":
+		e.StopReason = vals[0]
+	case "values":
+		e.Values = make([]float64, len(vals))
+		for i, v := range vals {
+			x, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return bad(v)
+			}
+			e.Values[i] = x
+		}
+	}
+	return nil
 }
 
 // SaveEmbedding writes an embedding to a file.
@@ -86,6 +183,15 @@ func ReadEmbedding(r io.Reader) (*Embedding, error) {
 		fields := strings.Fields(sc.Text())
 		if len(fields) == 0 {
 			continue
+		}
+		if fields[0] == "#meta" {
+			if err := parseMeta(e, fields, line); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if strings.HasPrefix(fields[0], "#") {
+			continue // future header extensions
 		}
 		if len(fields) != k+2 {
 			return nil, fmt.Errorf("gebe: line %d: want %d fields, got %d", line, k+2, len(fields))

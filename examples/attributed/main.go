@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand/v2"
+	"time"
 
 	"gebe/internal/bigraph"
 	"gebe/internal/core"
@@ -59,9 +60,9 @@ func main() {
 
 	// Exact multi-hop measures for a couple of pairs (§2.2–2.3).
 	om := pmf.NewPoisson(1)
-	sSame, _ := core.MHSQuery(g, om, 20, 0, 1)     // same block
-	sCross, _ := core.MHSQuery(g, om, 20, 0, nu-1) // other block
-	p, _ := core.MHPQuery(g, om, 20, 0, 0)
+	sSame, _ := core.MHSQuery(g, om, 20, 0, 1, time.Time{})     // same block
+	sCross, _ := core.MHSQuery(g, om, 20, 0, nu-1, time.Time{}) // other block
+	p, _ := core.MHPQuery(g, om, 20, 0, 0, time.Time{})
 	fmt.Printf("\nexact multi-hop measures:\n")
 	fmt.Printf("  MHS(u0,u1)  = %.4f (same community)\n", sSame)
 	fmt.Printf("  MHS(u0,u%d) = %.4f (other community)\n", nu-1, sCross)

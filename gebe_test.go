@@ -137,10 +137,58 @@ func TestReadEmbeddingErrors(t *testing.T) {
 		"#gebe m 1 1 2\nw 0 1 2\n",   // bad side
 		"#gebe m 1 1 2\nu 5 1 2\n",   // index out of range
 		"#gebe m 1 1 2\nu 0 1 zap\n", // bad float
+		"#gebe m 1 1 2\n#meta\n",      // meta without key/value
+		"#gebe m 1 1 2\n#meta sweeps zap\n",      // bad meta int
+		"#gebe m 1 1 2\n#meta values 1 zap\n",    // bad meta float
+		"#gebe m 1 1 2\n#meta converged maybe\n", // bad meta bool
 	}
 	for _, in := range cases {
 		if _, err := ReadEmbedding(strings.NewReader(in)); err == nil {
 			t.Errorf("input %q accepted", in)
 		}
+	}
+}
+
+func TestEmbeddingMetaRoundTrip(t *testing.T) {
+	g := smallGraph(t)
+	e, err := GEBE(g, Options{K: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force every diagnostic field to a distinctive value so the round
+	// trip covers the whole #meta vocabulary.
+	e.SigmaScale = 1.25
+	e.Sweeps = 42
+	e.SweepsSaved = 158
+	e.Converged = true
+	e.StopReason = "stagnated"
+	e.Values = []float64{0.123456789012345678, 3.0000000001e-7, 0}
+
+	var sb strings.Builder
+	if err := WriteEmbedding(&sb, e); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := ReadEmbedding(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.SigmaScale != e.SigmaScale || e2.Sweeps != e.Sweeps || e2.SweepsSaved != e.SweepsSaved ||
+		e2.Converged != e.Converged || e2.StopReason != e.StopReason {
+		t.Errorf("meta changed: %+v", e2)
+	}
+	if len(e2.Values) != len(e.Values) {
+		t.Fatalf("values count %d, want %d", len(e2.Values), len(e.Values))
+	}
+	for i := range e.Values {
+		// %.17g is lossless for float64, so equality must be exact.
+		if e2.Values[i] != e.Values[i] {
+			t.Errorf("values[%d] %v != %v", i, e2.Values[i], e.Values[i])
+		}
+	}
+
+	// Unknown #meta keys and bare comment lines must be skipped, not fatal.
+	tolerant := "#gebe m 1 1 2\n#meta frobnicate 7\n# future extension\nu 0 1 2\nv 0 3 4\n"
+	if _, err := ReadEmbedding(strings.NewReader(tolerant)); err != nil {
+		t.Errorf("unknown meta key rejected: %v", err)
 	}
 }

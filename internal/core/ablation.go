@@ -42,12 +42,12 @@ func MHPBNE(g *bigraph.Graph, opt Options) (*Embedding, error) {
 		return nil, err
 	}
 	run := opt.obsRun()
-	w, sigma := scaledWeightMatrix(g, opt, run)
+	w, sigma, err := scaledWeightMatrix(g, opt, run)
+	if err != nil {
+		return nil, fmt.Errorf("core: MHP-BNE: %w", err)
+	}
 	h := hOperator{w: w, omega: opt.PMF, tau: opt.Tau, threads: opt.Threads}
-	res := linalg.KSIRun(ppOperator{h: h}, linalg.KSIConfig{
-		K: opt.K, Sweeps: opt.Iters, Tol: opt.Tol, Seed: opt.Seed,
-		Deadline: opt.Deadline, Obs: run,
-	})
+	res := linalg.KSIRun(ppOperator{h: h}, opt.ksiConfig(run))
 	if res.DeadlineHit {
 		return nil, fmt.Errorf("core: MHP-BNE: %w", budget.ErrExceeded)
 	}
@@ -73,11 +73,13 @@ func MHPBNE(g *bigraph.Graph, opt Options) (*Embedding, error) {
 	v.ScaleCols(invSqrtSigma)
 	return &Embedding{
 		U: u, V: v,
-		Values:     res.Values,
-		Method:     "mhp-bne",
-		Sweeps:     res.Sweeps,
-		Converged:  res.Converged,
-		SigmaScale: sigma,
+		Values:      res.Values,
+		Method:      "mhp-bne",
+		Sweeps:      res.Sweeps,
+		SweepsSaved: res.SweepsSaved,
+		Converged:   res.Converged,
+		StopReason:  string(res.StopReason),
+		SigmaScale:  sigma,
 	}, nil
 }
 
@@ -95,12 +97,14 @@ func MHSBNE(g *bigraph.Graph, opt Options) (*Embedding, error) {
 		return nil, err
 	}
 	run := opt.obsRun()
-	w, sigma := scaledWeightMatrix(g, opt, run)
+	w, sigma, err := scaledWeightMatrix(g, opt, run)
+	if err != nil {
+		return nil, fmt.Errorf("core: MHS-BNE: %w", err)
+	}
 	factorSide := func(h hOperator, seed uint64) (*dense.Matrix, linalg.KSIResult) {
-		res := linalg.KSIRun(h, linalg.KSIConfig{
-			K: opt.K, Sweeps: opt.Iters, Tol: opt.Tol, Seed: seed,
-			Deadline: opt.Deadline, Obs: run,
-		})
+		cfg := opt.ksiConfig(run)
+		cfg.Seed = seed
+		res := linalg.KSIRun(h, cfg)
 		if res.DeadlineHit {
 			return nil, res
 		}
@@ -128,13 +132,19 @@ func MHSBNE(g *bigraph.Graph, opt Options) (*Embedding, error) {
 		return nil, fmt.Errorf("core: MHS-BNE: %w", budget.ErrExceeded)
 	}
 	alignSides(x, y, w)
+	stop := string(resU.StopReason)
+	if resV.StopReason != resU.StopReason {
+		stop = fmt.Sprintf("u=%s,v=%s", resU.StopReason, resV.StopReason)
+	}
 	return &Embedding{
 		U: x, V: y,
-		Values:     resU.Values,
-		Method:     "mhs-bne",
-		Sweeps:     resU.Sweeps + resV.Sweeps,
-		Converged:  resU.Converged && resV.Converged,
-		SigmaScale: sigma,
+		Values:      resU.Values,
+		Method:      "mhs-bne",
+		Sweeps:      resU.Sweeps + resV.Sweeps,
+		SweepsSaved: resU.SweepsSaved + resV.SweepsSaved,
+		Converged:   resU.Converged && resV.Converged,
+		StopReason:  stop,
+		SigmaScale:  sigma,
 	}, nil
 }
 

@@ -174,7 +174,10 @@ func TestLemma22(t *testing.T) {
 func TestGEBEMatchesExact(t *testing.T) {
 	for _, om := range []pmf.PMF{pmf.NewUniform(5), pmf.NewGeometric(0.5), pmf.NewPoisson(1)} {
 		g := randomBipartite(t, 25, 18, 120, true, 77)
-		opt := Options{K: 4, PMF: om, Tau: 10, Iters: 800, Tol: 1e-12, Seed: 3}
+		// NoAdaptiveStop: the comparison needs the full fixed budget — with
+		// Tol this deep the controller would (correctly) declare it
+		// unreachable and stop long before the subspace settles.
+		opt := Options{K: 4, PMF: om, Tau: 10, Iters: 800, Tol: 1e-12, Seed: 3, NoAdaptiveStop: true}
 		fast, err := GEBE(g, opt)
 		if err != nil {
 			t.Fatal(err)

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"gebe/internal/bigraph"
 	"gebe/internal/dense"
 )
@@ -14,7 +16,10 @@ func ExactEmbedding(g *bigraph.Graph, opt Options) (*Embedding, error) {
 	if err := opt.validate(g, false); err != nil {
 		return nil, err
 	}
-	w, sigma := scaledWeightMatrix(g, opt, opt.obsRun())
+	w, sigma, err := scaledWeightMatrix(g, opt, opt.obsRun())
+	if err != nil {
+		return nil, fmt.Errorf("core: ExactEmbedding: %w", err)
+	}
 	h := ExactH(w, opt.PMF, opt.Tau)
 	vals, vecs := dense.SymEig(h)
 	zk := vecs.SliceCols(0, opt.K)

@@ -40,23 +40,30 @@ func (o hOperator) Apply(z *dense.Matrix) *dense.Matrix {
 
 // scaledWeightMatrix builds W and applies the spectral scaling W/σ₁
 // unless disabled, returning the matrix and the scale used. The σ₁ power
-// iteration is traced and timed through run (nil-safe).
-func scaledWeightMatrix(g *bigraph.Graph, opt Options, run *obs.Run) (*sparse.CSR, float64) {
+// iteration is traced and timed through run (nil-safe) and honors the
+// cooperative opt.Deadline: when it fires, budget.ErrExceeded is
+// returned so no solver starts its main loop on a blown budget.
+func scaledWeightMatrix(g *bigraph.Graph, opt Options, run *obs.Run) (*sparse.CSR, float64, error) {
 	w := WeightMatrix(g)
 	if opt.NoScale {
-		return w, 1
+		return w, 1, nil
 	}
 	sp := run.Span("sigma1")
 	start := time.Now()
-	sigma := linalg.TopSingularValue(w, 0, opt.Seed^0x5ca1ab1e, opt.Threads)
-	sp.Set("sigma1", sigma)
+	pr := linalg.TopSingularValueRun(w, linalg.PowerConfig{
+		Seed: opt.Seed ^ 0x5ca1ab1e, Threads: opt.Threads, Deadline: opt.Deadline,
+	})
+	sp.Set("sigma1", pr.Sigma).Set("iterations", pr.Iterations).Set("deadline_hit", pr.DeadlineHit)
 	sp.End()
 	run.Registry().Histogram("core_sigma1_seconds", "wall-clock of σ₁ power iteration", nil).ObserveSince(start)
-	run.Logger().Debug("sigma1: estimated", "sigma1", sigma, "elapsed_s", time.Since(start).Seconds())
-	if sigma <= 0 {
-		return w, 1
+	run.Logger().Debug("sigma1: estimated", "sigma1", pr.Sigma, "elapsed_s", time.Since(start).Seconds())
+	if pr.DeadlineHit {
+		return nil, 0, budget.ErrExceeded
 	}
-	return w.Scaled(1 / sigma), sigma
+	if pr.Sigma <= 0 {
+		return w, 1, nil
+	}
+	return w.Scaled(1 / pr.Sigma), pr.Sigma, nil
 }
 
 // GEBE computes bipartite network embeddings with Algorithm 1 of the
@@ -76,14 +83,16 @@ func GEBE(g *bigraph.Graph, opt Options) (*Embedding, error) {
 	run.Logger().Info("gebe: start", "method", method, "nu", g.NU, "nv", g.NV,
 		"edges", g.NumEdges(), "k", opt.K, "tau", opt.Tau, "iters", opt.Iters, "tol", opt.Tol)
 	root := run.Span("gebe")
-	w, sigma := scaledWeightMatrix(g, opt, run)
+	w, sigma, err := scaledWeightMatrix(g, opt, run)
+	if err != nil {
+		root.End()
+		run.Logger().Warn("gebe: deadline exceeded", "method", method, "phase", "sigma1")
+		return nil, fmt.Errorf("core: GEBE: %w", err)
+	}
 	op := hOperator{w: w, omega: opt.PMF, tau: opt.Tau, threads: opt.Threads}
 	ksi := run.Span("ksi")
-	res := linalg.KSIRun(op, linalg.KSIConfig{
-		K: opt.K, Sweeps: opt.Iters, Tol: opt.Tol, Seed: opt.Seed,
-		Deadline: opt.Deadline, Obs: run,
-	})
-	ksi.Set("sweeps", res.Sweeps).Set("converged", res.Converged)
+	res := linalg.KSIRun(op, opt.ksiConfig(run))
+	ksi.Set("sweeps", res.Sweeps).Set("converged", res.Converged).Set("stop_reason", string(res.StopReason))
 	ksi.End()
 	if res.DeadlineHit {
 		root.End()
@@ -97,15 +106,29 @@ func GEBE(g *bigraph.Graph, opt Options) (*Embedding, error) {
 	root.End()
 	finishRun(run, start, res.Sweeps)
 	run.Logger().Info("gebe: done", "method", method, "sweeps", res.Sweeps,
-		"converged", res.Converged, "elapsed_s", time.Since(start).Seconds())
+		"converged", res.Converged, "stop_reason", string(res.StopReason),
+		"elapsed_s", time.Since(start).Seconds())
 	return &Embedding{
 		U: u, V: v,
-		Values:     res.Values,
-		Method:     method,
-		Sweeps:     res.Sweeps,
-		Converged:  res.Converged,
-		SigmaScale: sigma,
+		Values:      res.Values,
+		Method:      method,
+		Sweeps:      res.Sweeps,
+		SweepsSaved: res.SweepsSaved,
+		Converged:   res.Converged,
+		StopReason:  string(res.StopReason),
+		SigmaScale:  sigma,
 	}, nil
+}
+
+// ksiConfig maps the option fields shared by every KSI-based solver onto
+// one linalg.KSIConfig, with the given seed defaulting to opt.Seed.
+func (o Options) ksiConfig(run *obs.Run) linalg.KSIConfig {
+	return linalg.KSIConfig{
+		K: o.K, Sweeps: o.Iters, Tol: o.Tol, Seed: o.Seed,
+		Deadline: o.Deadline,
+		Window:   o.StopWindow, Flatness: o.StopFlatness, NoAdaptive: o.NoAdaptiveStop,
+		Obs: run,
+	}
 }
 
 // finishRun records the run-level counters every solver shares.

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"time"
 
 	"gebe/internal/bigraph"
+	"gebe/internal/budget"
 	"gebe/internal/linalg"
 )
 
@@ -30,13 +32,25 @@ func GEBEP(g *bigraph.Graph, opt Options) (*Embedding, error) {
 	run.Logger().Info("gebep: start", "nu", g.NU, "nv", g.NV, "edges", g.NumEdges(),
 		"k", opt.K, "lambda", opt.Lambda, "epsilon", opt.Epsilon)
 	root := run.Span("gebep")
-	w, sigma := scaledWeightMatrix(g, opt, run)
+	w, sigma, err := scaledWeightMatrix(g, opt, run)
+	if err != nil {
+		root.End()
+		run.Logger().Warn("gebep: deadline exceeded", "phase", "sigma1")
+		return nil, fmt.Errorf("core: GEBEP: %w", err)
+	}
 	rsvd := run.Span("rsvd")
 	svd := linalg.RandomizedSVDRun(w, linalg.SVDConfig{
-		K: opt.K, Eps: opt.Epsilon, Seed: opt.Seed, Threads: opt.Threads, Obs: run,
+		K: opt.K, Eps: opt.Epsilon, Seed: opt.Seed, Threads: opt.Threads,
+		Deadline: opt.Deadline, Obs: run,
 	})
-	rsvd.Set("krylov_dim", svd.KrylovDim).Set("iterations", svd.Iterations)
+	rsvd.Set("krylov_dim", svd.KrylovDim).Set("iterations", svd.Iterations).Set("deadline_hit", svd.DeadlineHit)
 	rsvd.End()
+	if svd.DeadlineHit {
+		root.End()
+		run.Logger().Warn("gebep: deadline exceeded", "phase", "rsvd",
+			"blocks", svd.Iterations, "elapsed_s", time.Since(start).Seconds())
+		return nil, fmt.Errorf("core: GEBEP: %w", budget.ErrExceeded)
+	}
 	// Λ'_k = e^{-λ}·e^{λΣ'²} (Line 2 of Algorithm 2).
 	mapStart := time.Now()
 	mapSp := run.Span("spectral_map")
@@ -59,6 +73,7 @@ func GEBEP(g *bigraph.Graph, opt Options) (*Embedding, error) {
 		Method:     "gebep",
 		Sweeps:     0,
 		Converged:  true,
+		StopReason: string(linalg.StopConverged),
 		SigmaScale: sigma,
 	}, nil
 }

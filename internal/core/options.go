@@ -37,9 +37,21 @@ type Options struct {
 	// single-thread evaluation protocol.
 	Threads int
 	// Deadline optionally bounds solver runtime (cooperative, checked per
-	// KSI sweep); a zero value means no limit. Solvers that hit it return
+	// KSI sweep, per randomized-SVD Krylov block, and per σ₁ power
+	// iteration); a zero value means no limit. Every solver that hits it —
+	// GEBE, GEBE^p, MHP-BNE and MHS-BNE alike — returns
 	// budget.ErrExceeded, mirroring the paper's hard cutoff protocol.
 	Deadline time.Time
+	// StopWindow is the sliding window (in sweeps) the adaptive KSI
+	// stopping controller uses to estimate residual decay; 0 selects 16.
+	StopWindow int
+	// StopFlatness is the per-sweep residual decay rate at or above which
+	// the controller declares stagnation and exits early; 0 selects 0.99.
+	// Must lie in (0,1).
+	StopFlatness float64
+	// NoAdaptiveStop disables the adaptive KSI stopping controller,
+	// restoring the fixed Iters/Tol/Deadline stopping behavior.
+	NoAdaptiveStop bool
 	// NoScale disables the spectral scaling of W (division by σ₁). The
 	// scaling keeps e^{λσ²} finite for arbitrarily weighted graphs (see
 	// DESIGN.md §3.5); turn it off only for tiny hand-built graphs such as
@@ -124,11 +136,26 @@ func (o Options) validate(g *bigraph.Graph, needBothSides bool) error {
 	if o.Tau < 0 {
 		return fmt.Errorf("core: Tau must be non-negative, got %d", o.Tau)
 	}
+	if o.Iters < 0 {
+		return fmt.Errorf("core: Iters must be non-negative, got %d", o.Iters)
+	}
+	if o.Tol < 0 {
+		return fmt.Errorf("core: Tol must be non-negative, got %g", o.Tol)
+	}
+	if o.Threads < 0 {
+		return fmt.Errorf("core: Threads must be non-negative, got %d", o.Threads)
+	}
 	if o.Lambda <= 0 {
 		return fmt.Errorf("core: Lambda must be positive, got %g", o.Lambda)
 	}
 	if o.Epsilon <= 0 || o.Epsilon >= 1 {
 		return fmt.Errorf("core: Epsilon must lie in (0,1), got %g", o.Epsilon)
+	}
+	if o.StopWindow < 0 {
+		return fmt.Errorf("core: StopWindow must be non-negative, got %d", o.StopWindow)
+	}
+	if o.StopFlatness < 0 || o.StopFlatness >= 1 {
+		return fmt.Errorf("core: StopFlatness must lie in [0,1), got %g", o.StopFlatness)
 	}
 	return nil
 }
@@ -144,8 +171,15 @@ type Embedding struct {
 	Method string
 	// Sweeps is the number of KSI sweeps used (0 for GEBE^p).
 	Sweeps int
+	// SweepsSaved is the part of the sweep budget left unused (KSI early
+	// exit or convergence before the budget; 0 for GEBE^p).
+	SweepsSaved int
 	// Converged reports KSI convergence (always true for GEBE^p).
 	Converged bool
+	// StopReason explains why KSI stopped sweeping ("converged",
+	// "stagnated", "tol-unreachable", "sweep-budget"; "converged" for
+	// GEBE^p, whose SVD always runs to completion).
+	StopReason string
 	// SigmaScale is the σ₁ estimate W was divided by (1 when unscaled).
 	SigmaScale float64
 }

@@ -2,10 +2,14 @@ package core
 
 import (
 	"errors"
+	"math"
+	"math/rand"
 	"testing"
 	"time"
 
+	"gebe/internal/bigraph"
 	"gebe/internal/budget"
+	"gebe/internal/linalg"
 	"gebe/internal/obs"
 )
 
@@ -31,6 +35,14 @@ func TestValidateBoundaries(t *testing.T) {
 		{"epsilon negative", func(o *Options) { o.Epsilon = -0.1 }, false},
 		{"epsilon near zero", func(o *Options) { o.Epsilon = 1e-9 }, true},
 		{"epsilon near one", func(o *Options) { o.Epsilon = 0.999999 }, true},
+		{"iters negative", func(o *Options) { o.Iters = -1 }, false},
+		{"tol negative", func(o *Options) { o.Tol = -1e-7 }, false},
+		{"threads negative", func(o *Options) { o.Threads = -2 }, false},
+		{"stop window negative", func(o *Options) { o.StopWindow = -1 }, false},
+		{"stop window zero default", func(o *Options) { o.StopWindow = 0 }, true},
+		{"stop flatness negative", func(o *Options) { o.StopFlatness = -0.5 }, false},
+		{"stop flatness one", func(o *Options) { o.StopFlatness = 1 }, false},
+		{"stop flatness valid", func(o *Options) { o.StopFlatness = 0.95 }, true},
 	}
 	for _, tc := range cases {
 		opt := base
@@ -82,15 +94,105 @@ func TestGEBEDeadlineExceeded(t *testing.T) {
 	}
 }
 
-// TestAblationDeadlineExceeded covers the same contract for the two
-// ablation solvers, whose deadline plumbing is separate.
+// TestAblationDeadlineExceeded covers the same contract for every
+// solver whose deadline plumbing is separate from GEBE's: GEBE^p (whose
+// randomized SVD must not run at all on a blown budget) and the two
+// ablation baselines.
 func TestAblationDeadlineExceeded(t *testing.T) {
 	g := randomBipartite(t, 60, 40, 400, true, 5)
 	expired := time.Now().Add(-time.Second)
-	if _, err := MHPBNE(g, Options{K: 4, Seed: 1, Deadline: expired}); !errors.Is(err, budget.ErrExceeded) {
-		t.Errorf("MHPBNE: want budget.ErrExceeded, got %v", err)
+	solvers := []struct {
+		name string
+		run  func(*bigraph.Graph, Options) (*Embedding, error)
+		opt  Options
+	}{
+		{"GEBEP", GEBEP, Options{K: 4, Seed: 1, Deadline: expired}},
+		// NoScale skips the σ₁ power iteration, so the deadline must be
+		// caught inside RandomizedSVDRun itself.
+		{"GEBEP-noscale", GEBEP, Options{K: 4, Seed: 1, Deadline: expired, NoScale: true}},
+		{"MHPBNE", MHPBNE, Options{K: 4, Seed: 1, Deadline: expired}},
+		{"MHSBNE", MHSBNE, Options{K: 4, Seed: 1, Deadline: expired}},
 	}
-	if _, err := MHSBNE(g, Options{K: 4, Seed: 1, Deadline: expired}); !errors.Is(err, budget.ErrExceeded) {
-		t.Errorf("MHSBNE: want budget.ErrExceeded, got %v", err)
+	for _, tc := range solvers {
+		emb, err := tc.run(g, tc.opt)
+		if err == nil {
+			t.Errorf("%s: ignored an expired deadline", tc.name)
+			continue
+		}
+		if !errors.Is(err, budget.ErrExceeded) {
+			t.Errorf("%s: want budget.ErrExceeded, got %v", tc.name, err)
+		}
+		if emb != nil {
+			t.Errorf("%s: timed-out run returned a partial embedding", tc.name)
+		}
 	}
+}
+
+// TestAdaptiveStopMatchesFixedRun is the quality contract of the
+// adaptive KSI stopping controller: with a tolerance below the
+// subspace's numerical floor and a 200-sweep budget, the controller
+// must exit strictly before the fixed run exhausts its budget, and
+// every eigenvalue it returns must agree with the full fixed-budget run
+// to 1e-6 relative error.
+func TestAdaptiveStopMatchesFixedRun(t *testing.T) {
+	g := twoBlockGraph(t)
+	// Tol below the subspace's numerical floor, so plain convergence can
+	// never fire and the controller has to recognize the floor itself.
+	base := Options{K: 2, Seed: 9, Iters: 200, Tol: 1e-18}
+	adaptive, err := GEBE(g, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixedOpt := base
+	fixedOpt.NoAdaptiveStop = true
+	fixed, err := GEBE(g, fixedOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.Sweeps != 200 {
+		t.Fatalf("fixed run stopped at %d sweeps (%s); budget semantics changed", fixed.Sweeps, fixed.StopReason)
+	}
+	if adaptive.Sweeps >= fixed.Sweeps {
+		t.Errorf("adaptive run used %d sweeps, not fewer than the fixed %d", adaptive.Sweeps, fixed.Sweeps)
+	}
+	if adaptive.StopReason != string(linalg.StopStagnated) && adaptive.StopReason != string(linalg.StopUnreachable) {
+		t.Errorf("adaptive run stopped for %q, want a controller reason", adaptive.StopReason)
+	}
+	if adaptive.SweepsSaved != 200-adaptive.Sweeps {
+		t.Errorf("SweepsSaved=%d, want %d", adaptive.SweepsSaved, 200-adaptive.Sweeps)
+	}
+	for i := range adaptive.Values {
+		rel := math.Abs(adaptive.Values[i]-fixed.Values[i]) / (1 + math.Abs(fixed.Values[i]))
+		if rel > 1e-6 {
+			t.Errorf("eigenvalue %d: adaptive %v vs fixed %v (rel %g)", i, adaptive.Values[i], fixed.Values[i], rel)
+		}
+	}
+}
+
+// twoBlockGraph plants two dense bipartite blocks with distinct weight
+// scales plus sparse noise — a stand-in for the fig2 benchmark graphs
+// with a decisive eigengap, so KSI reaches its residual floor well
+// inside a 200-sweep budget.
+func twoBlockGraph(t *testing.T) *bigraph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	var edges []bigraph.Edge
+	for u := 0; u < 30; u++ {
+		for v := 0; v < 20; v++ {
+			edges = append(edges, bigraph.Edge{U: u, V: v, W: 4 + rng.Float64()})
+		}
+	}
+	for u := 30; u < 60; u++ {
+		for v := 20; v < 40; v++ {
+			edges = append(edges, bigraph.Edge{U: u, V: v, W: 2 + rng.Float64()})
+		}
+	}
+	for i := 0; i < 80; i++ {
+		edges = append(edges, bigraph.Edge{U: rng.Intn(60), V: rng.Intn(40), W: 0.05 * rng.Float64()})
+	}
+	g, err := bigraph.New(60, 40, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
 }

@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"gebe/internal/bigraph"
+	"gebe/internal/budget"
 	"gebe/internal/pmf"
 	"gebe/internal/sparse"
 )
@@ -13,20 +15,29 @@ import (
 // pairs without materializing H: one application of the H operator to an
 // indicator vector yields a full column of H in O(τ·|E|) time — the
 // single-pair analogue of §4.1's block computation. This is what
-// cmd/gebe-sim exposes.
+// cmd/gebe-sim exposes. Every query takes a cooperative deadline
+// (checked once per hop, the coarse granularity internal/budget
+// prescribes); a zero deadline never fires, and a blown one surfaces as
+// budget.ErrExceeded.
 
 // MHSQuery returns the exact (truncated at tau) multi-hop homogeneous
 // similarity s(u_i, u_l) of Eq. (4) between two U-side nodes.
-func MHSQuery(g *bigraph.Graph, omega pmf.PMF, tau, i, l int) (float64, error) {
+func MHSQuery(g *bigraph.Graph, omega pmf.PMF, tau, i, l int, deadline time.Time) (float64, error) {
 	if err := checkPair(g.NU, i, l, "U"); err != nil {
 		return 0, err
 	}
 	w := WeightMatrix(g)
-	colI := hColumn(w, omega, tau, i)
+	colI, err := hColumn(w, omega, tau, i, deadline)
+	if err != nil {
+		return 0, err
+	}
 	if i == l {
 		return 1, nil
 	}
-	colL := hColumn(w, omega, tau, l)
+	colL, err := hColumn(w, omega, tau, l, deadline)
+	if err != nil {
+		return 0, err
+	}
 	hii, hll, hil := colI[i], colL[l], colI[l]
 	if hii <= 0 || hll <= 0 {
 		return 0, nil
@@ -35,16 +46,22 @@ func MHSQuery(g *bigraph.Graph, omega pmf.PMF, tau, i, l int) (float64, error) {
 }
 
 // MHSQueryV is MHSQuery for two V-side nodes (Lemma 2.2's measure).
-func MHSQueryV(g *bigraph.Graph, omega pmf.PMF, tau, j, h int) (float64, error) {
+func MHSQueryV(g *bigraph.Graph, omega pmf.PMF, tau, j, h int, deadline time.Time) (float64, error) {
 	if err := checkPair(g.NV, j, h, "V"); err != nil {
 		return 0, err
 	}
 	w := WeightMatrix(g).T()
-	colJ := hColumn(w, omega, tau, j)
+	colJ, err := hColumn(w, omega, tau, j, deadline)
+	if err != nil {
+		return 0, err
+	}
 	if j == h {
 		return 1, nil
 	}
-	colH := hColumn(w, omega, tau, h)
+	colH, err := hColumn(w, omega, tau, h, deadline)
+	if err != nil {
+		return 0, err
+	}
 	hjj, hhh, hjh := colJ[j], colH[h], colJ[h]
 	if hjj <= 0 || hhh <= 0 {
 		return 0, nil
@@ -54,7 +71,7 @@ func MHSQueryV(g *bigraph.Graph, omega pmf.PMF, tau, j, h int) (float64, error) 
 
 // MHPQuery returns the exact (truncated) multi-hop heterogeneous
 // proximity P[u_i, v_j] of Eq. (5).
-func MHPQuery(g *bigraph.Graph, omega pmf.PMF, tau, i, j int) (float64, error) {
+func MHPQuery(g *bigraph.Graph, omega pmf.PMF, tau, i, j int, deadline time.Time) (float64, error) {
 	if i < 0 || i >= g.NU {
 		return 0, fmt.Errorf("core: u index %d outside [0,%d)", i, g.NU)
 	}
@@ -62,28 +79,34 @@ func MHPQuery(g *bigraph.Graph, omega pmf.PMF, tau, i, j int) (float64, error) {
 		return 0, fmt.Errorf("core: v index %d outside [0,%d)", j, g.NV)
 	}
 	w := WeightMatrix(g)
-	col := hColumn(w, omega, tau, i) // row i of H (H is symmetric)
+	col, err := hColumn(w, omega, tau, i, deadline) // row i of H (H is symmetric)
+	if err != nil {
+		return 0, err
+	}
 	// P[i,j] = (H·W)[i,j] = Σ_l H[i,l]·W[l,j] = colᵀ·W[:,j] = (Wᵀ·col)[j].
-	return w.TMulVec(col)[j], nil
+	return w.TMulVec(col, 1)[j], nil
 }
 
 // hColumn computes H[:,idx] = Σ ω(ℓ)(WWᵀ)^ℓ e_idx by repeated
 // sparse matrix-vector products.
-func hColumn(w *sparse.CSR, omega pmf.PMF, tau, idx int) []float64 {
+func hColumn(w *sparse.CSR, omega pmf.PMF, tau, idx int, deadline time.Time) ([]float64, error) {
 	n := w.Rows
 	cur := make([]float64, n)
 	cur[idx] = 1
 	acc := make([]float64, n)
 	acc[idx] = omega.Weight(0)
 	for ell := 1; ell <= tau; ell++ {
-		cur = w.MulVec(w.TMulVec(cur))
+		if err := budget.Check(deadline); err != nil {
+			return nil, fmt.Errorf("core: query at hop %d/%d: %w", ell, tau, err)
+		}
+		cur = w.MulVec(w.TMulVec(cur, 1), 1)
 		if wl := omega.Weight(ell); wl != 0 {
 			for x, v := range cur {
 				acc[x] += wl * v
 			}
 		}
 	}
-	return acc
+	return acc, nil
 }
 
 func checkPair(n, a, b int, side string) error {
@@ -95,12 +118,15 @@ func checkPair(n, a, b int, side string) error {
 
 // TopSimilar returns the ids of the topN nodes most similar to u_i under
 // the truncated MHS measure, excluding u_i itself, ordered descending.
-func TopSimilar(g *bigraph.Graph, omega pmf.PMF, tau, i, topN int) ([]int, []float64, error) {
+func TopSimilar(g *bigraph.Graph, omega pmf.PMF, tau, i, topN int, deadline time.Time) ([]int, []float64, error) {
 	if i < 0 || i >= g.NU {
 		return nil, nil, fmt.Errorf("core: u index %d outside [0,%d)", i, g.NU)
 	}
 	w := WeightMatrix(g)
-	col := hColumn(w, omega, tau, i)
+	col, err := hColumn(w, omega, tau, i, deadline)
+	if err != nil {
+		return nil, nil, err
+	}
 	// Diagonal entries: need H[l,l] for every candidate. Computing all
 	// diagonals exactly would cost |U| operator applies; instead reuse the
 	// identity diag(H) ≥ ω(0) and compute the exact diagonal only for the
@@ -115,7 +141,11 @@ func TopSimilar(g *bigraph.Graph, omega pmf.PMF, tau, i, topN int) ([]int, []flo
 		if l == i || hil == 0 {
 			continue
 		}
-		hll := hColumn(w, omega, tau, l)[l]
+		colL, err := hColumn(w, omega, tau, l, deadline)
+		if err != nil {
+			return nil, nil, err
+		}
+		hll := colL[l]
 		if hii <= 0 || hll <= 0 {
 			continue
 		}

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"testing"
+	"time"
 
+	"gebe/internal/budget"
 	"gebe/internal/pmf"
 )
 
@@ -19,7 +22,7 @@ func TestQueriesMatchDenseReference(t *testing.T) {
 	p := ExactMHP(w, om, tau)
 	for i := 0; i < g.NU; i++ {
 		for l := 0; l < g.NU; l++ {
-			got, err := MHSQuery(g, om, tau, i, l)
+			got, err := MHSQuery(g, om, tau, i, l, time.Time{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -28,7 +31,7 @@ func TestQueriesMatchDenseReference(t *testing.T) {
 			}
 		}
 		for j := 0; j < g.NV; j++ {
-			got, err := MHPQuery(g, om, tau, i, j)
+			got, err := MHPQuery(g, om, tau, i, j, time.Time{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -46,7 +49,7 @@ func TestMHSQueryVMatchesDense(t *testing.T) {
 	sv := MHSFromH(ExactHV(WeightMatrix(g), om, tau))
 	for j := 0; j < g.NV; j++ {
 		for h := 0; h < g.NV; h++ {
-			got, err := MHSQueryV(g, om, tau, j, h)
+			got, err := MHSQueryV(g, om, tau, j, h, time.Time{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -60,19 +63,19 @@ func TestMHSQueryVMatchesDense(t *testing.T) {
 func TestQueryValidation(t *testing.T) {
 	g := figure1Graph(t)
 	om := pmf.NewPoisson(1)
-	if _, err := MHSQuery(g, om, 5, -1, 0); err == nil {
+	if _, err := MHSQuery(g, om, 5, -1, 0, time.Time{}); err == nil {
 		t.Error("negative index accepted")
 	}
-	if _, err := MHSQuery(g, om, 5, 0, 99); err == nil {
+	if _, err := MHSQuery(g, om, 5, 0, 99, time.Time{}); err == nil {
 		t.Error("out-of-range index accepted")
 	}
-	if _, err := MHPQuery(g, om, 5, 0, 99); err == nil {
+	if _, err := MHPQuery(g, om, 5, 0, 99, time.Time{}); err == nil {
 		t.Error("out-of-range v index accepted")
 	}
-	if _, err := MHSQueryV(g, om, 5, 99, 0); err == nil {
+	if _, err := MHSQueryV(g, om, 5, 99, 0, time.Time{}); err == nil {
 		t.Error("out-of-range v pair accepted")
 	}
-	if _, _, err := TopSimilar(g, om, 5, 99, 3); err == nil {
+	if _, _, err := TopSimilar(g, om, 5, 99, 3, time.Time{}); err == nil {
 		t.Error("out-of-range TopSimilar index accepted")
 	}
 }
@@ -81,7 +84,7 @@ func TestQueryValidation(t *testing.T) {
 // node must be u2 (they share all neighbors).
 func TestTopSimilarRunningExample(t *testing.T) {
 	g := figure1Graph(t)
-	ids, sims, err := TopSimilar(g, pmf.NewPoisson(2), 60, 0, 3)
+	ids, sims, err := TopSimilar(g, pmf.NewPoisson(2), 60, 0, 3, time.Time{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,11 +100,31 @@ func TestTopSimilarRunningExample(t *testing.T) {
 
 func TestMHSQuerySelfIsOne(t *testing.T) {
 	g := figure1Graph(t)
-	got, err := MHSQuery(g, pmf.NewUniform(5), 5, 2, 2)
+	got, err := MHSQuery(g, pmf.NewUniform(5), 5, 2, 2, time.Time{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got != 1 {
 		t.Errorf("s(u,u)=%v want 1", got)
+	}
+}
+
+// TestQueryDeadlineExceeded: every point-query entry point honors the
+// cooperative deadline and surfaces budget.ErrExceeded.
+func TestQueryDeadlineExceeded(t *testing.T) {
+	g := randomBipartite(t, 12, 9, 50, true, 101)
+	om := pmf.NewPoisson(1)
+	expired := time.Now().Add(-time.Second)
+	if _, err := MHSQuery(g, om, 8, 0, 1, expired); !errors.Is(err, budget.ErrExceeded) {
+		t.Errorf("MHSQuery: want budget.ErrExceeded, got %v", err)
+	}
+	if _, err := MHSQueryV(g, om, 8, 0, 1, expired); !errors.Is(err, budget.ErrExceeded) {
+		t.Errorf("MHSQueryV: want budget.ErrExceeded, got %v", err)
+	}
+	if _, err := MHPQuery(g, om, 8, 0, 1, expired); !errors.Is(err, budget.ErrExceeded) {
+		t.Errorf("MHPQuery: want budget.ErrExceeded, got %v", err)
+	}
+	if _, _, err := TopSimilar(g, om, 8, 0, 3, expired); !errors.Is(err, budget.ErrExceeded) {
+		t.Errorf("TopSimilar: want budget.ErrExceeded, got %v", err)
 	}
 }

@@ -1,12 +1,15 @@
 package eval
 
 import (
+	"errors"
 	"math"
 	"math/rand/v2"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"gebe/internal/bigraph"
+	"gebe/internal/budget"
 	"gebe/internal/dense"
 )
 
@@ -305,5 +308,55 @@ func TestLinkPredEmptyTest(t *testing.T) {
 	v := dense.New(2, 1)
 	if _, err := LinkPred(g, g, nil, u, v, LinkPredOptions{}); err == nil {
 		t.Error("empty test set accepted")
+	}
+}
+
+// TestTopNSkipsOutOfRange: test edges referencing nodes outside the
+// training graph are excluded and counted instead of panicking the
+// scorer, and the valid edges still score normally.
+func TestTopNSkipsOutOfRange(t *testing.T) {
+	u := dense.FromRows([][]float64{{1, 0}, {0, 1}})
+	v := dense.FromRows([][]float64{{3, 0}, {2, 1}, {1, 2}, {0, 3}})
+	train, err := bigraph.New(2, 4, []bigraph.Edge{{U: 0, V: 0, W: 1}, {U: 1, V: 3, W: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := []bigraph.Edge{
+		{U: 0, V: 1, W: 5},  // valid: user0's top remaining pick
+		{U: 2, V: 0, W: 1},  // user index past NU
+		{U: -1, V: 0, W: 1}, // negative user
+		{U: 0, V: 4, W: 1},  // item index past NV
+		{U: 0, V: -2, W: 1}, // negative item
+	}
+	res, err := TopNRun(train, test, u, v, TopNConfig{N: 1, Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skipped != 4 {
+		t.Errorf("Skipped=%d, want 4", res.Skipped)
+	}
+	if res.Users != 1 || res.F1 != 1 {
+		t.Errorf("valid edge mis-scored: %+v", res)
+	}
+}
+
+// TestTopNDeadlineExpired: an already-blown deadline aborts the
+// evaluation with budget.ErrExceeded instead of returning partial
+// averages as if they were complete.
+func TestTopNDeadlineExpired(t *testing.T) {
+	u := dense.FromRows([][]float64{{1, 0}, {0, 1}})
+	v := dense.FromRows([][]float64{{3, 0}, {2, 1}})
+	train, err := bigraph.New(2, 2, []bigraph.Edge{{U: 0, V: 0, W: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := []bigraph.Edge{{U: 0, V: 1, W: 5}, {U: 1, V: 0, W: 5}}
+	res, err := TopNRun(train, test, u, v, TopNConfig{N: 1, Threads: 1,
+		Deadline: time.Now().Add(-time.Second)})
+	if !errors.Is(err, budget.ErrExceeded) {
+		t.Fatalf("want budget.ErrExceeded, got %v", err)
+	}
+	if res.F1 != 0 || res.NDCG != 0 || res.MRR != 0 {
+		t.Errorf("partial averages leaked past a deadline error: %+v", res)
 	}
 }

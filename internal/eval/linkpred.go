@@ -3,8 +3,10 @@ package eval
 import (
 	"fmt"
 	"math/rand/v2"
+	"time"
 
 	"gebe/internal/bigraph"
+	"gebe/internal/budget"
 	"gebe/internal/dense"
 )
 
@@ -41,6 +43,10 @@ type LinkPredOptions struct {
 	Features FeatureMode
 	Seed     uint64
 	LogReg   LogRegOptions
+	// Deadline optionally bounds the protocol (cooperative, checked
+	// between its phases: feature building, classifier training, test
+	// scoring); when it fires LinkPred returns budget.ErrExceeded.
+	Deadline time.Time
 }
 
 func (o LinkPredOptions) withDefaults() LinkPredOptions {
@@ -119,6 +125,9 @@ func LinkPred(full, train *bigraph.Graph, testPos []bigraph.Edge, u, v *dense.Ma
 		x = append(x, feature(e.U, e.V))
 		y = append(y, false)
 	}
+	if err := budget.Check(opt.Deadline); err != nil {
+		return LPResult{}, fmt.Errorf("eval: link prediction before training: %w", err)
+	}
 	clf, err := TrainLogReg(x, y, func() LogRegOptions {
 		lo := opt.LogReg
 		if lo.Seed == 0 {
@@ -130,6 +139,9 @@ func LinkPred(full, train *bigraph.Graph, testPos []bigraph.Edge, u, v *dense.Ma
 		return LPResult{}, err
 	}
 
+	if err := budget.Check(opt.Deadline); err != nil {
+		return LPResult{}, fmt.Errorf("eval: link prediction before scoring: %w", err)
+	}
 	// Test set: removed edges + equal sampled negatives.
 	testNeg := sampleNeg(len(testPos))
 	scores := make([]float64, 0, 2*len(testPos))

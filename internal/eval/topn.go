@@ -1,11 +1,15 @@
 package eval
 
 import (
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"gebe/internal/bigraph"
+	"gebe/internal/budget"
 	"gebe/internal/dense"
 )
 
@@ -15,6 +19,24 @@ type TopNResult struct {
 	// Users is the number of users with at least one held-out edge
 	// (the denominator of the averages).
 	Users int
+	// Skipped counts test edges that referenced a node outside the
+	// training graph's index range and were therefore excluded from the
+	// protocol instead of panicking the scorer. Non-zero values usually
+	// mean the split was built against a different graph.
+	Skipped int
+}
+
+// TopNConfig parameterizes TopNRun; the zero value matches TopN's
+// historical behavior (all CPUs, no deadline).
+type TopNConfig struct {
+	// N is the recommendation list length (the paper's N).
+	N int
+	// Threads caps scorer parallelism; <1 selects GOMAXPROCS.
+	Threads int
+	// Deadline optionally bounds the evaluation (cooperative, checked
+	// once per scored user); when it fires TopNRun returns
+	// budget.ErrExceeded.
+	Deadline time.Time
 }
 
 // TopN runs the paper's top-N recommendation protocol: for every user
@@ -23,9 +45,19 @@ type TopNResult struct {
 // held-out neighbors ranked by edge weight, truncated to n), and average
 // F1/NDCG/MRR over users.
 func TopN(train *bigraph.Graph, test []bigraph.Edge, u, v *dense.Matrix, n int, threads int) TopNResult {
+	res, _ := TopNRun(train, test, u, v, TopNConfig{N: n, Threads: threads})
+	return res
+}
+
+// TopNRun is the configurable form of TopN. Test edges whose endpoints
+// fall outside the training graph are skipped (and counted in
+// Skipped) rather than crashing the run.
+func TopNRun(train *bigraph.Graph, test []bigraph.Edge, u, v *dense.Matrix, cfg TopNConfig) (TopNResult, error) {
+	threads := cfg.Threads
 	if threads < 1 {
 		threads = runtime.GOMAXPROCS(0)
 	}
+	n := cfg.N
 	// Per-user training items to exclude and held-out edges.
 	trainItems := make([]map[int]bool, train.NU)
 	for _, e := range train.Edges {
@@ -35,7 +67,12 @@ func TopN(train *bigraph.Graph, test []bigraph.Edge, u, v *dense.Matrix, n int, 
 		trainItems[e.U][e.V] = true
 	}
 	heldOut := make([][]bigraph.Edge, train.NU)
+	skipped := 0
 	for _, e := range test {
+		if e.U < 0 || e.U >= train.NU || e.V < 0 || e.V >= train.NV {
+			skipped++
+			continue
+		}
 		heldOut[e.U] = append(heldOut[e.U], e)
 	}
 	var users []int
@@ -44,13 +81,14 @@ func TopN(train *bigraph.Graph, test []bigraph.Edge, u, v *dense.Matrix, n int, 
 			users = append(users, uu)
 		}
 	}
-	res := TopNResult{Users: len(users)}
+	res := TopNResult{Users: len(users), Skipped: skipped}
 	if len(users) == 0 {
-		return res
+		return res, nil
 	}
 
 	var mu sync.Mutex
 	var wg sync.WaitGroup
+	var expired atomic.Bool
 	chunk := (len(users) + threads - 1) / threads
 	for lo := 0; lo < len(users); lo += chunk {
 		hi := lo + chunk
@@ -63,6 +101,13 @@ func TopN(train *bigraph.Graph, test []bigraph.Edge, u, v *dense.Matrix, n int, 
 			scores := make([]float64, train.NV)
 			var f1, ndcg, mrr float64
 			for _, uu := range users {
+				if expired.Load() {
+					return
+				}
+				if budget.Exceeded(cfg.Deadline) {
+					expired.Store(true)
+					return
+				}
 				urow := u.Row(uu)
 				for vv := 0; vv < train.NV; vv++ {
 					scores[vv] = dense.Dot(urow, v.Row(vv))
@@ -81,10 +126,14 @@ func TopN(train *bigraph.Graph, test []bigraph.Edge, u, v *dense.Matrix, n int, 
 		}(users[lo:hi])
 	}
 	wg.Wait()
+	if expired.Load() {
+		return TopNResult{Users: len(users), Skipped: skipped},
+			fmt.Errorf("eval: top-N over %d users: %w", len(users), budget.ErrExceeded)
+	}
 	res.F1 /= float64(len(users))
 	res.NDCG /= float64(len(users))
 	res.MRR /= float64(len(users))
-	return res
+	return res, nil
 }
 
 // groundTruth ranks a user's held-out neighbors by edge weight (ties by

@@ -72,9 +72,11 @@ func Ablations(cfg Config) ([]AblationRow, error) {
 	for _, iters := range []int{1, 3, 10, 30, 100} {
 		sp := cfg.Trace.StartSpan("cell").Set("study", "ksi-sweeps").Set("setting", iters)
 		start := time.Now()
+		// Adaptive stopping off: this study measures the quality a *fixed*
+		// budget of t sweeps buys, so the controller must not cut it short.
 		emb, err := core.GEBE(prep.train, core.Options{
 			K: cfg.K, PMF: pmf.NewPoisson(1), Tau: 20, Iters: iters, Tol: 1e-12,
-			Seed: cfg.Seed, Threads: cfg.Threads, Trace: cfg.Trace,
+			Seed: cfg.Seed, Threads: cfg.Threads, NoAdaptiveStop: true, Trace: cfg.Trace,
 		})
 		elapsed := time.Since(start)
 		sp.End()

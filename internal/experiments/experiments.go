@@ -36,6 +36,11 @@ type Config struct {
 	// it are reported as "-", mirroring the paper's three-day cutoff
 	// (default 60s).
 	TimeBudget time.Duration
+	// Deadline optionally bounds the whole harness run with an absolute
+	// cutoff. Cells whose per-cell budget would outlast it are clamped to
+	// it, so one slow method cannot push the harness past the cutoff.
+	// Zero means no overall limit.
+	Deadline time.Time
 	// Datasets optionally restricts runs to the named stand-ins.
 	Datasets []string
 	// Methods optionally restricts runs to the named methods.
@@ -102,10 +107,25 @@ func (c Config) wantMethod(name string) bool {
 	return false
 }
 
+// RunInfo carries solver diagnostics from one cell into the tables and
+// manifests. Baselines report the zero value.
+type RunInfo struct {
+	// Sweeps is the number of KSI sweeps the solver used (0 for GEBE^p
+	// and the baselines).
+	Sweeps int `json:"sweeps"`
+	// SweepsSaved is the part of the sweep budget the adaptive stopping
+	// controller (or convergence) left unused.
+	SweepsSaved int `json:"sweeps_saved"`
+	// StopReason explains why the solver stopped ("converged",
+	// "stagnated", "tol-unreachable", "sweep-budget"; empty for
+	// baselines).
+	StopReason string `json:"stop_reason,omitempty"`
+}
+
 // Spec is one embedding method under test.
 type Spec struct {
 	Name string
-	Run  func(g *bigraph.Graph, deadline time.Time) (u, v *dense.Matrix, err error)
+	Run  func(g *bigraph.Graph, deadline time.Time) (u, v *dense.Matrix, info RunInfo, err error)
 	// Ours marks the paper's methods (printed first, like the tables).
 	Ours bool
 }
@@ -117,7 +137,7 @@ func Methods(cfg Config) []Spec {
 	cfg = cfg.withDefaults()
 	k, seed, threads := cfg.K, cfg.Seed, cfg.Threads
 	ours := func(name string, f func(*bigraph.Graph, core.Options) (*core.Embedding, error), opt core.Options) Spec {
-		return Spec{Name: name, Ours: true, Run: func(g *bigraph.Graph, deadline time.Time) (*dense.Matrix, *dense.Matrix, error) {
+		return Spec{Name: name, Ours: true, Run: func(g *bigraph.Graph, deadline time.Time) (*dense.Matrix, *dense.Matrix, RunInfo, error) {
 			o := opt
 			o.K = k
 			o.Seed = seed
@@ -126,9 +146,10 @@ func Methods(cfg Config) []Spec {
 			o.Trace = cfg.Trace
 			e, err := f(g, o)
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, RunInfo{}, err
 			}
-			return e.U, e.V, nil
+			info := RunInfo{Sweeps: e.Sweeps, SweepsSaved: e.SweepsSaved, StopReason: e.StopReason}
+			return e.U, e.V, info, nil
 		}}
 	}
 	specs := []Spec{
@@ -141,8 +162,9 @@ func Methods(cfg Config) []Spec {
 	}
 	for _, m := range baselines.All() {
 		m := m
-		specs = append(specs, Spec{Name: m.Name, Run: func(g *bigraph.Graph, deadline time.Time) (*dense.Matrix, *dense.Matrix, error) {
-			return m.Train(g, k, seed, threads, deadline)
+		specs = append(specs, Spec{Name: m.Name, Run: func(g *bigraph.Graph, deadline time.Time) (*dense.Matrix, *dense.Matrix, RunInfo, error) {
+			u, v, err := m.Train(g, k, seed, threads, deadline)
+			return u, v, RunInfo{}, err
 		}})
 	}
 	var filtered []Spec
@@ -160,18 +182,25 @@ func Methods(cfg Config) []Spec {
 // machine instead of lingering; overruns report ok=false, which the
 // tables print as the paper's "-". Each cell gets a span in cfg.Trace;
 // the paper's solvers nest their phase spans beneath it.
-func timedRun(cfg Config, spec Spec, g *bigraph.Graph, dataset string) (u, v *dense.Matrix, elapsed time.Duration, ok bool) {
+func timedRun(cfg Config, spec Spec, g *bigraph.Graph, dataset string) (u, v *dense.Matrix, info RunInfo, elapsed time.Duration, ok bool) {
 	sp := cfg.Trace.StartSpan("cell").Set("method", spec.Name).Set("dataset", dataset)
 	start := time.Now()
-	ru, rv, err := spec.Run(g, start.Add(cfg.TimeBudget))
+	cellDeadline := start.Add(cfg.TimeBudget)
+	if !cfg.Deadline.IsZero() && cfg.Deadline.Before(cellDeadline) {
+		cellDeadline = cfg.Deadline
+	}
+	ru, rv, ri, err := spec.Run(g, cellDeadline)
 	elapsed = time.Since(start)
 	ok = err == nil
 	sp.Set("ok", ok)
+	if ri.StopReason != "" {
+		sp.Set("stop_reason", ri.StopReason).Set("sweeps", ri.Sweeps)
+	}
 	sp.End()
 	if !ok {
-		return nil, nil, elapsed, false
+		return nil, nil, RunInfo{}, elapsed, false
 	}
-	return ru, rv, elapsed, true
+	return ru, rv, ri, elapsed, true
 }
 
 // prepared caches one dataset's graph and split so multiple experiments

@@ -108,6 +108,11 @@ func TestFig2Smoke(t *testing.T) {
 			gp = r.Elapsed
 		case "GEBE (Poisson)":
 			gpois = r.Elapsed
+			// The manifest must explain how the KSI run ended so sweep
+			// counts are comparable across configurations.
+			if r.Sweeps == 0 || r.StopReason == "" {
+				t.Errorf("GEBE row missing solver diagnostics: sweeps=%d stop_reason=%q", r.Sweeps, r.StopReason)
+			}
 		}
 	}
 	// The paper's headline: GEBE^p is faster than GEBE.

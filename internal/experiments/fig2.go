@@ -12,6 +12,12 @@ type Fig2Row struct {
 	Dataset string   `json:"dataset"`
 	Elapsed Duration `json:"elapsed_seconds"`
 	OK      bool     `json:"ok"`
+	// Solver diagnostics (zero for baselines): sweeps actually run, the
+	// part of the sweep budget the adaptive controller saved, and why the
+	// solver stopped.
+	Sweeps      int    `json:"sweeps"`
+	SweepsSaved int    `json:"sweeps_saved"`
+	StopReason  string `json:"stop_reason,omitempty"`
 }
 
 // Fig2 reproduces the paper's Figure 2: wall-clock embedding
@@ -37,8 +43,9 @@ func Fig2(cfg Config) ([]Fig2Row, error) {
 		fmt.Fprintf(cfg.Out, "\n== Figure 2: embedding time on %s (%v) ==\n", name, g.Stats())
 		var printed [][]string
 		for _, spec := range specs {
-			_, _, elapsed, ok := timedRun(cfg, spec, g, name)
-			rows = append(rows, Fig2Row{Method: spec.Name, Dataset: name, Elapsed: Duration(elapsed), OK: ok})
+			_, _, info, elapsed, ok := timedRun(cfg, spec, g, name)
+			rows = append(rows, Fig2Row{Method: spec.Name, Dataset: name, Elapsed: Duration(elapsed), OK: ok,
+				Sweeps: info.Sweeps, SweepsSaved: info.SweepsSaved, StopReason: info.StopReason})
 			cell := "-"
 			if ok {
 				cell = fmt.Sprintf("%.2fs", elapsed.Seconds())

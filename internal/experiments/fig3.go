@@ -45,13 +45,13 @@ func Fig3(cfg Config) ([]Fig3Row, error) {
 			start := time.Now()
 			switch m {
 			case "GEBE (Poisson)":
-				// Fixed sweep count: the measurement is how time scales with
-				// graph size, and ER spectra have tiny eigengaps that would
-				// otherwise make the stopping point (not the per-sweep cost)
-				// dominate the curve.
+				// Fixed sweep count, adaptive stopping off: the measurement is
+				// how time scales with graph size, and ER spectra have tiny
+				// eigengaps that would otherwise make the stopping point (not
+				// the per-sweep cost) dominate the curve.
 				_, err = core.GEBE(g, core.Options{K: cfg.K, PMF: pmf.NewPoisson(1),
 					Tau: 20, Iters: 30, Tol: 1e-9, Seed: cfg.Seed, Threads: cfg.Threads,
-					Trace: cfg.Trace})
+					NoAdaptiveStop: true, Trace: cfg.Trace})
 			case "GEBE^p":
 				_, err = core.GEBEP(g, core.Options{K: cfg.K, Lambda: 1, Epsilon: 0.1,
 					Seed: cfg.Seed, Threads: cfg.Threads, Trace: cfg.Trace})

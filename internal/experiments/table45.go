@@ -16,6 +16,10 @@ type Table4Row struct {
 	MRR     float64  `json:"mrr"`
 	Elapsed Duration `json:"elapsed_seconds"`
 	OK      bool     `json:"ok"`
+	// Solver diagnostics (our methods only; empty for baselines).
+	Sweeps      int    `json:"sweeps,omitempty"`
+	SweepsSaved int    `json:"sweeps_saved,omitempty"`
+	StopReason  string `json:"stop_reason,omitempty"`
 }
 
 // Table4 reproduces the paper's Table 4: top-N (N=10) recommendation on
@@ -38,8 +42,9 @@ func Table4(cfg Config) ([]Table4Row, error) {
 		fmt.Fprintf(cfg.Out, "\n== Table 4: top-%d recommendation on %s (%v) ==\n", n, name, prep.train.Stats())
 		var printed [][]string
 		for _, spec := range specs {
-			u, v, elapsed, ok := timedRun(cfg, spec, prep.train, name)
-			row := Table4Row{Method: spec.Name, Dataset: name, Elapsed: Duration(elapsed), OK: ok}
+			u, v, info, elapsed, ok := timedRun(cfg, spec, prep.train, name)
+			row := Table4Row{Method: spec.Name, Dataset: name, Elapsed: Duration(elapsed), OK: ok,
+				Sweeps: info.Sweeps, SweepsSaved: info.SweepsSaved, StopReason: info.StopReason}
 			if ok {
 				res := eval.TopN(prep.train, prep.test, u, v, n, cfg.Threads)
 				row.F1, row.NDCG, row.MRR = res.F1, res.NDCG, res.MRR
@@ -64,6 +69,10 @@ type Table5Row struct {
 	AUCPR   float64  `json:"auc_pr"`
 	Elapsed Duration `json:"elapsed_seconds"`
 	OK      bool     `json:"ok"`
+	// Solver diagnostics (our methods only; empty for baselines).
+	Sweeps      int    `json:"sweeps,omitempty"`
+	SweepsSaved int    `json:"sweeps_saved,omitempty"`
+	StopReason  string `json:"stop_reason,omitempty"`
 }
 
 // Table5 reproduces the paper's Table 5: link prediction on the five
@@ -86,8 +95,9 @@ func Table5(cfg Config) ([]Table5Row, error) {
 		fmt.Fprintf(cfg.Out, "\n== Table 5: link prediction on %s (%v) ==\n", name, prep.train.Stats())
 		var printed [][]string
 		for _, spec := range specs {
-			u, v, elapsed, ok := timedRun(cfg, spec, prep.train, name)
-			row := Table5Row{Method: spec.Name, Dataset: name, Elapsed: Duration(elapsed), OK: ok}
+			u, v, info, elapsed, ok := timedRun(cfg, spec, prep.train, name)
+			row := Table5Row{Method: spec.Name, Dataset: name, Elapsed: Duration(elapsed), OK: ok,
+				Sweeps: info.Sweeps, SweepsSaved: info.SweepsSaved, StopReason: info.StopReason}
 			if ok {
 				res, err := eval.LinkPred(prep.full, prep.train, prep.test, u, v,
 					eval.LinkPredOptions{Seed: cfg.Seed + 17, Features: cfg.LPFeatures})

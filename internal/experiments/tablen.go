@@ -44,7 +44,7 @@ func TableN(cfg Config, ns []int) ([]TableNRow, error) {
 		fmt.Fprintf(cfg.Out, "\n== Appendix: top-N sweep on %s (%v) ==\n", name, prep.train.Stats())
 		var printed [][]string
 		for _, spec := range specs {
-			u, v, elapsed, ok := timedRun(cfg, spec, prep.train, name)
+			u, v, _, elapsed, ok := timedRun(cfg, spec, prep.train, name)
 			line := []string{spec.Name}
 			for _, n := range ns {
 				row := TableNRow{Method: spec.Name, Dataset: name, N: n, Elapsed: Duration(elapsed), OK: ok}

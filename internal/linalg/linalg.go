@@ -31,37 +31,76 @@ func NewRand(seed uint64) *rand.Rand {
 	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
 }
 
+// PowerConfig parameterizes the σ₁ power iteration.
+type PowerConfig struct {
+	// Iters is the iteration budget; 0 selects a default that is plenty
+	// for the 2-digit accuracy the spectral scaling needs.
+	Iters int
+	// Seed drives the random starting vector.
+	Seed uint64
+	// Threads caps MulVec/TMulVec parallelism.
+	Threads int
+	// Deadline is a cooperative cutoff checked once per iteration; zero
+	// never fires.
+	Deadline time.Time
+}
+
+// PowerResult carries the σ₁ estimate plus termination diagnostics.
+type PowerResult struct {
+	// Sigma is the σ₁(W) estimate (best so far when DeadlineHit).
+	Sigma float64
+	// Iterations is the number of power iterations performed.
+	Iterations int
+	// DeadlineHit reports that the iteration stopped because the
+	// cooperative deadline passed.
+	DeadlineHit bool
+}
+
 // TopSingularValue estimates σ₁(W) by power iteration on WᵀW. iters=0
-// selects a default that is plenty for the 2-digit accuracy the spectral
-// scaling needs.
+// selects the default budget.
 func TopSingularValue(w *sparse.CSR, iters int, seed uint64, threads int) float64 {
+	return TopSingularValueRun(w, PowerConfig{Iters: iters, Seed: seed, Threads: threads}).Sigma
+}
+
+// TopSingularValueRun is the configurable entry point behind
+// TopSingularValue; it honors cfg.Threads in the sparse products and the
+// cooperative cfg.Deadline between iterations.
+func TopSingularValueRun(w *sparse.CSR, cfg PowerConfig) PowerResult {
 	if w.NNZ() == 0 {
-		return 0
+		return PowerResult{}
 	}
+	iters := cfg.Iters
 	if iters <= 0 {
 		iters = 50
 	}
-	rng := NewRand(seed)
+	rng := NewRand(cfg.Seed)
 	v := make([]float64, w.Cols)
 	for i := range v {
 		v[i] = rng.NormFloat64()
 	}
 	normalize(v)
-	sigma := 0.0
+	res := PowerResult{}
 	for it := 0; it < iters; it++ {
-		wv := w.MulVec(v)
-		v = w.TMulVec(wv)
+		if budget.Exceeded(cfg.Deadline) {
+			res.DeadlineHit = true
+			return res
+		}
+		wv := w.MulVec(v, cfg.Threads)
+		v = w.TMulVec(wv, cfg.Threads)
 		n := normalize(v)
+		res.Iterations = it + 1
 		if n == 0 {
-			return 0 // started orthogonal to the range; caller's W is degenerate
+			res.Sigma = 0 // started orthogonal to the range; caller's W is degenerate
+			return res
 		}
 		next := math.Sqrt(n)
-		if it > 4 && math.Abs(next-sigma) < 1e-9*next {
-			return next
+		if it > 4 && math.Abs(next-res.Sigma) < 1e-9*next {
+			res.Sigma = next
+			return res
 		}
-		sigma = next
+		res.Sigma = next
 	}
-	return sigma
+	return res
 }
 
 func normalize(v []float64) float64 {
@@ -88,8 +127,15 @@ type KSIResult struct {
 	// before the sweep budget ran out.
 	Converged bool
 	// DeadlineHit reports that the iteration stopped early because a
-	// cooperative deadline passed (KSIDeadline only).
+	// cooperative deadline passed.
 	DeadlineHit bool
+	// StopReason explains why sweeping stopped.
+	StopReason StopReason
+	// DecayRate is the controller's last per-sweep geometric residual
+	// decay estimate (0 until the sliding window fills).
+	DecayRate float64
+	// SweepsSaved is the part of the sweep budget left unused.
+	SweepsSaved int
 }
 
 // KSI runs block Krylov subspace iteration (simultaneous orthogonal
@@ -130,6 +176,17 @@ type KSIConfig struct {
 	// Deadline is a cooperative cutoff checked once per sweep; zero never
 	// fires.
 	Deadline time.Time
+	// Window is the sliding-window length (in sweeps) the adaptive
+	// stopping controller uses to estimate the residual decay rate;
+	// 0 selects 16, minimum 2.
+	Window int
+	// Flatness is the per-sweep geometric decay rate at or above which
+	// the controller declares the residual stagnant and exits early;
+	// 0 selects 0.99. Must lie in (0,1).
+	Flatness float64
+	// NoAdaptive disables the early-exit controller: the sweep loop then
+	// runs until Tol, Deadline or the sweep budget, exactly as before.
+	NoAdaptive bool
 	// Obs receives per-sweep telemetry (spans, residual logs, metrics,
 	// progress events). nil runs silent.
 	Obs *obs.Run
@@ -161,13 +218,24 @@ func KSIRun(op Operator, cfg KSIConfig) KSIResult {
 	orthoSeconds := reg.Histogram("linalg_orthonormalize_seconds", "wall-clock per QR orthonormalization", nil)
 	residualGauge := reg.Gauge("linalg_ksi_residual", "latest KSI subspace residual")
 
+	var ctrl *decayController
+	if !cfg.NoAdaptive {
+		ctrl = newDecayController(cfg.Window, cfg.Flatness, tol, t)
+	}
 	rng := NewRand(cfg.Seed)
 	z := dense.Orthonormalize(dense.Random(n, k, rng))
-	res := KSIResult{}
+	res := KSIResult{StopReason: StopBudget}
 	for sweep := 1; sweep <= t; sweep++ {
 		sweepStart := time.Now()
 		sp := run.Span("ksi.sweep")
 		q := op.Apply(z)
+		var ritz []float64
+		if ctrl != nil {
+			// Rayleigh–Ritz values of the pre-sweep basis, from the H·Z
+			// product the sweep computes anyway — the controller's quality
+			// signal, at O(n·k²) on top of the sweep's O(n·k·τ) SpMMs.
+			ritz = ritzValues(z, q)
+		}
 		qrStart := time.Now()
 		zNew, _ := dense.QR(q)
 		qrDur := time.Since(qrStart)
@@ -202,13 +270,37 @@ func KSIRun(op Operator, cfg KSIConfig) KSIResult {
 
 		if change < tol {
 			res.Converged = true
+			res.StopReason = StopConverged
 			break
 		}
 		if budget.Exceeded(cfg.Deadline) {
 			res.DeadlineHit = true
+			res.StopReason = StopDeadline
 			log.Warn("ksi: deadline hit", "sweep", sweep, "residual", change)
 			break
 		}
+		if ctrl != nil {
+			verdict := ctrl.observe(sweep, change, ritz)
+			res.DecayRate = verdict.rate
+			if verdict.stop {
+				res.StopReason = verdict.reason
+				res.SweepsSaved = t - sweep
+				sp := run.Span("ksi.controller")
+				sp.Set("sweep", sweep).Set("reason", string(verdict.reason)).
+					Set("decay_rate", verdict.rate).Set("residual", change).
+					Set("projected_residual", verdict.projected).Set("sweeps_saved", t-sweep)
+				sp.End()
+				reg.Counter("linalg_ksi_early_exits_total", "KSI runs cut short by the adaptive stopping controller").Inc()
+				log.Info("ksi: adaptive early exit", "sweep", sweep, "of", t,
+					"reason", string(verdict.reason), "decay_rate", verdict.rate,
+					"residual", change, "projected_residual", verdict.projected,
+					"sweeps_saved", t-sweep)
+				break
+			}
+		}
+	}
+	if res.SweepsSaved == 0 && res.Sweeps < t {
+		res.SweepsSaved = t - res.Sweeps
 	}
 	// Rayleigh–Ritz: diagonalize the projected operator B = Zᵀ(H·Z) and
 	// rotate Z onto the Ritz vectors. SymEig returns descending order.
@@ -237,6 +329,11 @@ type RSVDResult struct {
 	KrylovDim int
 	// Iterations is the number of block-Krylov expansion steps q.
 	Iterations int
+	// DeadlineHit reports that the cooperative deadline passed during the
+	// Krylov expansion. When at least the seed block landed, U/Sigma hold
+	// the (less accurate) result from the partial basis; when the deadline
+	// had already passed on entry, U is nil.
+	DeadlineHit bool
 }
 
 // RandomizedSVD computes approximate top-k left singular vectors and
@@ -262,6 +359,10 @@ type SVDConfig struct {
 	Seed uint64
 	// Threads caps SpMM parallelism.
 	Threads int
+	// Deadline is a cooperative cutoff checked before every Krylov block;
+	// zero never fires. On expiry the basis built so far (if any) is still
+	// projected and returned, with DeadlineHit set.
+	Deadline time.Time
 	// Obs receives per-block telemetry; nil runs silent.
 	Obs *obs.Run
 }
@@ -319,10 +420,18 @@ func RandomizedSVDRun(w *sparse.CSR, cfg SVDConfig) RSVDResult {
 	run := cfg.Obs
 	log := run.Logger()
 	reg := run.Registry()
-	blocksTotal := reg.Counter("linalg_rsvd_blocks_total", "Krylov expansion steps performed")
-	blockSeconds := reg.Histogram("linalg_rsvd_block_seconds", "wall-clock per Krylov expansion step", nil)
+	blocksTotal := reg.Counter("linalg_rsvd_blocks_total", "Krylov blocks built (seed block included)")
+	blockSeconds := reg.Histogram("linalg_rsvd_block_seconds", "wall-clock per Krylov block (seed block included)", nil)
 	orthoSeconds := reg.Histogram("linalg_orthonormalize_seconds", "wall-clock per QR orthonormalization", nil)
 
+	res := RSVDResult{Iterations: q}
+	if budget.Exceeded(cfg.Deadline) {
+		// Expired before any work: nothing to project, return empty-handed.
+		log.Warn("rsvd: deadline expired before seed block")
+		res.DeadlineHit = true
+		res.Iterations = 0
+		return res
+	}
 	rng := NewRand(seed)
 	g := dense.Random(w.Cols, b, rng)
 	sp := run.Span("rsvd.block")
@@ -330,12 +439,23 @@ func RandomizedSVDRun(w *sparse.CSR, cfg SVDConfig) RSVDResult {
 	block := dense.Orthonormalize(w.MulDense(g, threads))
 	sp.Set("block", 0).Set("of", q)
 	sp.End()
+	blocksTotal.Inc()
+	blockSeconds.ObserveSince(blockStart)
 	log.Debug("rsvd: seed block", "cols", b, "krylov_dim", (q+1)*b, "block_s", time.Since(blockStart).Seconds())
 	run.Emit(obs.Progress{Phase: "rsvd.block", Step: 1, Total: q + 1, Elapsed: time.Since(blockStart)})
 	// Assemble the Krylov matrix K (Rows×(q+1)b), blockwise orthonormalized.
 	kry := dense.New(w.Rows, (q+1)*b)
 	copyBlock(kry, block, 0)
 	for i := 1; i <= q; i++ {
+		if budget.Exceeded(cfg.Deadline) {
+			// Truncate to the blocks already built (≥ b ≥ k columns) and
+			// finish with the partial basis, mirroring KSI's partial return.
+			res.DeadlineHit = true
+			res.Iterations = i - 1
+			kry = kry.SliceCols(0, i*b)
+			log.Warn("rsvd: deadline hit", "blocks_built", i, "of", q+1)
+			break
+		}
 		blockStart = time.Now()
 		sp = run.Span("rsvd.block")
 		block = dense.Orthonormalize(applyGram(w, block, threads))
@@ -370,7 +490,10 @@ func RandomizedSVDRun(w *sparse.CSR, cfg SVDConfig) RSVDResult {
 		}
 		sigma[i] = math.Sqrt(v)
 	}
-	return RSVDResult{U: u, Sigma: sigma, KrylovDim: kq.Cols, Iterations: q}
+	res.U = u
+	res.Sigma = sigma
+	res.KrylovDim = kq.Cols
+	return res
 }
 
 // applyGram returns (W Wᵀ)·x using two sparse products.

@@ -329,29 +329,64 @@ func (m *CSR) tMulRange(b, out *dense.Matrix, lo, hi int) {
 	}
 }
 
-// MulVec computes m · x for a dense vector x.
-func (m *CSR) MulVec(x []float64) []float64 {
+// MulVec computes m · x for a dense vector x, sharding output rows
+// across at most threads goroutines (threads <= 1 means sequential),
+// mirroring MulDense.
+func (m *CSR) MulVec(x []float64, threads int) []float64 {
 	if m.Cols != len(x) {
 		panic(fmt.Sprintf("sparse: MulVec shape mismatch %dx%d * %d", m.Rows, m.Cols, len(x)))
 	}
 	out := make([]float64, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		var s float64
-		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
-			s += m.Val[p] * x[m.ColIdx[p]]
+	parallelRows(m.Rows, threads, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var s float64
+			for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+				s += m.Val[p] * x[m.ColIdx[p]]
+			}
+			out[i] = s
 		}
-		out[i] = s
+	})
+	return out
+}
+
+// TMulVec computes mᵀ · x. Like TMulDense, the scatter pattern makes
+// naive row-sharding racy, so each worker owns a private accumulator
+// that is reduced at the end.
+func (m *CSR) TMulVec(x []float64, threads int) []float64 {
+	if m.Rows != len(x) {
+		panic(fmt.Sprintf("sparse: TMulVec shape mismatch (%dx%d)ᵀ * %d", m.Rows, m.Cols, len(x)))
+	}
+	nw := workerCount(m.Rows, threads)
+	if nw <= 1 {
+		out := make([]float64, m.Cols)
+		m.tMulVecRange(x, out, 0, m.Rows)
+		return out
+	}
+	partials := make([][]float64, nw)
+	var wg sync.WaitGroup
+	chunk := (m.Rows + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, m.Rows)
+		partials[w] = make([]float64, m.Cols)
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			m.tMulVecRange(x, partials[w], lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	out := partials[0]
+	for w := 1; w < nw; w++ {
+		for j, v := range partials[w] {
+			out[j] += v
+		}
 	}
 	return out
 }
 
-// TMulVec computes mᵀ · x.
-func (m *CSR) TMulVec(x []float64) []float64 {
-	if m.Rows != len(x) {
-		panic(fmt.Sprintf("sparse: TMulVec shape mismatch (%dx%d)ᵀ * %d", m.Rows, m.Cols, len(x)))
-	}
-	out := make([]float64, m.Cols)
-	for i := 0; i < m.Rows; i++ {
+func (m *CSR) tMulVecRange(x, out []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		xv := x[i]
 		if xv == 0 {
 			continue
@@ -360,7 +395,6 @@ func (m *CSR) TMulVec(x []float64) []float64 {
 			out[m.ColIdx[p]] += m.Val[p] * xv
 		}
 	}
-	return out
 }
 
 func workerCount(rows, threads int) int {

@@ -137,6 +137,32 @@ func TestParallelMatchesSequentialOnLargeMatrix(t *testing.T) {
 	}
 }
 
+func TestParallelVecMatchesSequential(t *testing.T) {
+	// Exceed the 4096-row threshold so the parallel path actually runs.
+	m := randomCSR(t, 5000, 40, 30000, 13)
+	x := make([]float64, 40)
+	y := make([]float64, 5000)
+	r := rng(14)
+	for i := range x {
+		x[i] = r.Float64()
+	}
+	for i := range y {
+		y[i] = r.Float64()
+	}
+	seq, par := m.MulVec(x, 1), m.MulVec(x, 8)
+	for i := range seq {
+		if math.Abs(seq[i]-par[i]) > 1e-10 {
+			t.Fatalf("parallel MulVec differs at row %d: %v vs %v", i, par[i], seq[i])
+		}
+	}
+	seqT, parT := m.TMulVec(y, 1), m.TMulVec(y, 8)
+	for j := range seqT {
+		if math.Abs(seqT[j]-parT[j]) > 1e-10 {
+			t.Fatalf("parallel TMulVec differs at col %d: %v vs %v", j, parT[j], seqT[j])
+		}
+	}
+}
+
 func TestMulVecAndTMulVec(t *testing.T) {
 	m := randomCSR(t, 9, 7, 30, 11)
 	x := make([]float64, 7)
@@ -148,14 +174,14 @@ func TestMulVecAndTMulVec(t *testing.T) {
 	for i := range y {
 		y[i] = r.Float64()
 	}
-	mx := m.MulVec(x)
+	mx := m.MulVec(x, 1)
 	d := m.ToDense()
 	for i := 0; i < 9; i++ {
 		if math.Abs(mx[i]-dense.Dot(d.Row(i), x)) > 1e-12 {
 			t.Fatalf("MulVec row %d mismatch", i)
 		}
 	}
-	mty := m.TMulVec(y)
+	mty := m.TMulVec(y, 1)
 	dT := d.T()
 	for j := 0; j < 7; j++ {
 		if math.Abs(mty[j]-dense.Dot(dT.Row(j), y)) > 1e-12 {
