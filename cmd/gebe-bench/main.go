@@ -10,6 +10,7 @@
 //	gebe-bench -exp fig4              # parameter sweeps, recommendation (Figure 4)
 //	gebe-bench -exp fig5              # parameter sweeps, link prediction (Figure 5)
 //	gebe-bench -exp all
+//	gebe-bench -kernels -json results/  # SpMM microbench → results/BENCH_SPMM.json
 //
 // Restrict work with -datasets dblp,movielens and -methods "GEBE^p,NRP".
 //
@@ -27,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -54,6 +56,7 @@ func main() {
 		methods     = flag.String("methods", "", "comma-separated method filter")
 		jsonPath    = flag.String("json", "", "write machine-readable results to this file (or BENCH_<exp>.json files if a directory)")
 		manifestDir = flag.String("manifest-dir", "results", "directory for RUN_<exp>.json run manifests (empty disables)")
+		kernelBench = flag.Bool("kernels", false, "run the SpMM kernel microbench (legacy vs tuned engine) instead of the paper experiments")
 	)
 	cli := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -64,6 +67,22 @@ func main() {
 	}
 	if cli.Active() {
 		sparse.EnableMetrics(obs.DefaultRegistry())
+	}
+
+	if *kernelBench {
+		start := time.Now()
+		rows := runKernelBench(os.Stdout, runtime.GOMAXPROCS(0))
+		rep := []benchResult{{
+			Experiment: "SPMM", ElapsedSeconds: time.Since(start).Seconds(), Rows: rows,
+		}}
+		if *jsonPath != "" {
+			if err := writeReport(*jsonPath, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "gebe-bench: writing -json report: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		stop()
+		return
 	}
 
 	cfg := experiments.Config{

@@ -28,7 +28,7 @@ func (o ppOperator) Dim() int { return o.h.w.Rows }
 
 func (o ppOperator) Apply(z *dense.Matrix) *dense.Matrix {
 	hz := o.h.Apply(z)
-	wwhz := o.h.w.MulDense(o.h.w.TMulDense(hz, o.h.threads), o.h.threads)
+	wwhz := o.h.w.MulDenseOpts(o.h.w.TMulDenseOpts(hz, o.h.spmm), o.h.spmm)
 	return o.h.Apply(wwhz)
 }
 
@@ -46,7 +46,7 @@ func MHPBNE(g *bigraph.Graph, opt Options) (*Embedding, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: MHP-BNE: %w", err)
 	}
-	h := hOperator{w: w, omega: opt.PMF, tau: opt.Tau, threads: opt.Threads}
+	h := hOperator{w: w, omega: opt.PMF, tau: opt.Tau, spmm: opt.spmm()}
 	res := linalg.KSIRun(ppOperator{h: h}, opt.ksiConfig(run))
 	if res.DeadlineHit {
 		return nil, fmt.Errorf("core: MHP-BNE: %w", budget.ErrExceeded)
@@ -69,7 +69,7 @@ func MHPBNE(g *bigraph.Graph, opt Options) (*Embedding, error) {
 	u.ScaleCols(sqrtSigma)
 	// V = PᵀΦ·Σ^{-1/2} = Wᵀ·(H·Φ)·Σ^{-1/2}, splitting σ evenly between the
 	// two factors so U·Vᵀ = Φ·Φᵀ·P.
-	v := w.TMulDense(h.Apply(phi), opt.Threads)
+	v := w.TMulDenseOpts(h.Apply(phi), opt.spmm())
 	v.ScaleCols(invSqrtSigma)
 	return &Embedding{
 		U: u, V: v,
@@ -121,8 +121,8 @@ func MHSBNE(g *bigraph.Graph, opt Options) (*Embedding, error) {
 		}
 		return x, res
 	}
-	hu := hOperator{w: w, omega: opt.PMF, tau: opt.Tau, threads: opt.Threads}
-	hv := hOperator{w: w.T(), omega: opt.PMF, tau: opt.Tau, threads: opt.Threads}
+	hu := hOperator{w: w, omega: opt.PMF, tau: opt.Tau, spmm: opt.spmm()}
+	hv := hOperator{w: w.T(), omega: opt.PMF, tau: opt.Tau, spmm: opt.spmm()}
 	x, resU := factorSide(hu, opt.Seed)
 	if resU.DeadlineHit {
 		return nil, fmt.Errorf("core: MHS-BNE: %w", budget.ErrExceeded)

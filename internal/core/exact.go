@@ -23,7 +23,7 @@ func ExactEmbedding(g *bigraph.Graph, opt Options) (*Embedding, error) {
 	h := ExactH(w, opt.PMF, opt.Tau)
 	vals, vecs := dense.SymEig(h)
 	zk := vecs.SliceCols(0, opt.K)
-	u, v := embedFromEigen(w, zk, vals[:opt.K], opt.Threads)
+	u, v := embedFromEigen(w, zk, vals[:opt.K], opt.spmm())
 	return &Embedding{
 		U: u, V: v,
 		Values:     vals[:opt.K],

@@ -17,10 +17,10 @@ import (
 // materializing H — Lines 3–6 of Algorithm 1, including the critical
 // re-association W·(WᵀQ) that turns an O(|E|·|U|) product into O(|E|·k).
 type hOperator struct {
-	w       *sparse.CSR
-	omega   pmf.PMF
-	tau     int
-	threads int
+	w     *sparse.CSR
+	omega pmf.PMF
+	tau   int
+	spmm  sparse.Tuning
 }
 
 func (o hOperator) Dim() int { return o.w.Rows }
@@ -30,7 +30,7 @@ func (o hOperator) Apply(z *dense.Matrix) *dense.Matrix {
 	q.Scale(o.omega.Weight(0))
 	ql := z
 	for ell := 1; ell <= o.tau; ell++ {
-		ql = o.w.MulDense(o.w.TMulDense(ql, o.threads), o.threads)
+		ql = o.w.MulDenseOpts(o.w.TMulDenseOpts(ql, o.spmm), o.spmm)
 		if wl := o.omega.Weight(ell); wl != 0 {
 			q.AddScaled(wl, ql)
 		}
@@ -51,7 +51,7 @@ func scaledWeightMatrix(g *bigraph.Graph, opt Options, run *obs.Run) (*sparse.CS
 	sp := run.Span("sigma1")
 	start := time.Now()
 	pr := linalg.TopSingularValueRun(w, linalg.PowerConfig{
-		Seed: opt.Seed ^ 0x5ca1ab1e, Threads: opt.Threads, Deadline: opt.Deadline,
+		Seed: opt.Seed ^ 0x5ca1ab1e, Threads: opt.Threads, SpMM: opt.SpMM, Deadline: opt.Deadline,
 	})
 	sp.Set("sigma1", pr.Sigma).Set("iterations", pr.Iterations).Set("deadline_hit", pr.DeadlineHit)
 	sp.End()
@@ -89,7 +89,7 @@ func GEBE(g *bigraph.Graph, opt Options) (*Embedding, error) {
 		run.Logger().Warn("gebe: deadline exceeded", "method", method, "phase", "sigma1")
 		return nil, fmt.Errorf("core: GEBE: %w", err)
 	}
-	op := hOperator{w: w, omega: opt.PMF, tau: opt.Tau, threads: opt.Threads}
+	op := hOperator{w: w, omega: opt.PMF, tau: opt.Tau, spmm: opt.spmm()}
 	ksi := run.Span("ksi")
 	res := linalg.KSIRun(op, opt.ksiConfig(run))
 	ksi.Set("sweeps", res.Sweeps).Set("converged", res.Converged).Set("stop_reason", string(res.StopReason))
@@ -101,7 +101,7 @@ func GEBE(g *bigraph.Graph, opt Options) (*Embedding, error) {
 		return nil, fmt.Errorf("core: GEBE: %w", budget.ErrExceeded)
 	}
 	embedSp := run.Span("embed")
-	u, v := embedFromEigen(w, res.Vectors, res.Values, opt.Threads)
+	u, v := embedFromEigen(w, res.Vectors, res.Values, opt.spmm())
 	embedSp.End()
 	root.End()
 	finishRun(run, start, res.Sweeps)
@@ -143,7 +143,7 @@ func finishRun(run *obs.Run, start time.Time, sweeps int) {
 
 // embedFromEigen realizes Eq. (13): U = Z·√Λ, V = Wᵀ·U. Tiny negative
 // eigenvalue estimates (QR round-off on a PSD operator) are clamped.
-func embedFromEigen(w *sparse.CSR, z *dense.Matrix, vals []float64, threads int) (u, v *dense.Matrix) {
+func embedFromEigen(w *sparse.CSR, z *dense.Matrix, vals []float64, tn sparse.Tuning) (u, v *dense.Matrix) {
 	scales := make([]float64, len(vals))
 	for i, lam := range vals {
 		if lam < 0 {
@@ -153,6 +153,6 @@ func embedFromEigen(w *sparse.CSR, z *dense.Matrix, vals []float64, threads int)
 	}
 	u = z.Clone()
 	u.ScaleCols(scales)
-	v = w.TMulDense(u, threads)
+	v = w.TMulDenseOpts(u, tn)
 	return u, v
 }

@@ -8,6 +8,7 @@ import (
 	"gebe/internal/dense"
 	"gebe/internal/obs"
 	"gebe/internal/pmf"
+	"gebe/internal/sparse"
 )
 
 // Options configures the GEBE family of solvers. The zero value is not
@@ -36,6 +37,12 @@ type Options struct {
 	// Threads caps SpMM parallelism. Default 1, matching the paper's
 	// single-thread evaluation protocol.
 	Threads int
+	// SpMM tunes the sparse kernel engine behind every W product: the
+	// execution strategy (shape-aware default, scatter, or the legacy
+	// baseline) and the nonzero-count parallelism gate. The zero value
+	// selects the shape-aware defaults; SpMM.Threads is ignored — the
+	// Threads field above governs parallelism.
+	SpMM sparse.Tuning
 	// Deadline optionally bounds solver runtime (cooperative, checked per
 	// KSI sweep, per randomized-SVD Krylov block, and per σ₁ power
 	// iteration); a zero value means no limit. Every solver that hits it —
@@ -157,7 +164,18 @@ func (o Options) validate(g *bigraph.Graph, needBothSides bool) error {
 	if o.StopFlatness < 0 || o.StopFlatness >= 1 {
 		return fmt.Errorf("core: StopFlatness must lie in [0,1), got %g", o.StopFlatness)
 	}
+	if err := o.SpMM.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
 	return nil
+}
+
+// spmm merges the solver thread cap into the SpMM tuning, the form the
+// sparse engine consumes.
+func (o Options) spmm() sparse.Tuning {
+	t := o.SpMM
+	t.Threads = o.Threads
+	return t
 }
 
 // Embedding is the output of a BNE solver: one k-dimensional vector per

@@ -40,6 +40,9 @@ type PowerConfig struct {
 	Seed uint64
 	// Threads caps MulVec/TMulVec parallelism.
 	Threads int
+	// SpMM carries scheduling hints for the sparse products (strategy,
+	// parallelism gate); Threads above overrides SpMM.Threads.
+	SpMM sparse.Tuning
 	// Deadline is a cooperative cutoff checked once per iteration; zero
 	// never fires.
 	Deadline time.Time
@@ -79,14 +82,16 @@ func TopSingularValueRun(w *sparse.CSR, cfg PowerConfig) PowerResult {
 		v[i] = rng.NormFloat64()
 	}
 	normalize(v)
+	tn := cfg.SpMM
+	tn.Threads = cfg.Threads
 	res := PowerResult{}
 	for it := 0; it < iters; it++ {
 		if budget.Exceeded(cfg.Deadline) {
 			res.DeadlineHit = true
 			return res
 		}
-		wv := w.MulVec(v, cfg.Threads)
-		v = w.TMulVec(wv, cfg.Threads)
+		wv := w.MulVecOpts(v, tn)
+		v = w.TMulVecOpts(wv, tn)
 		n := normalize(v)
 		res.Iterations = it + 1
 		if n == 0 {
@@ -359,6 +364,9 @@ type SVDConfig struct {
 	Seed uint64
 	// Threads caps SpMM parallelism.
 	Threads int
+	// SpMM carries scheduling hints for the sparse products (strategy,
+	// parallelism gate); Threads above overrides SpMM.Threads.
+	SpMM sparse.Tuning
 	// Deadline is a cooperative cutoff checked before every Krylov block;
 	// zero never fires. On expiry the basis built so far (if any) is still
 	// projected and returned, with DeadlineHit set.
@@ -372,7 +380,9 @@ type SVDConfig struct {
 // event per Krylov expansion step, and spans around the global QR, the
 // projection and the dense eigensolve.
 func RandomizedSVDRun(w *sparse.CSR, cfg SVDConfig) RSVDResult {
-	k, eps, seed, threads := cfg.K, cfg.Eps, cfg.Seed, cfg.Threads
+	k, eps, seed := cfg.K, cfg.Eps, cfg.Seed
+	tn := cfg.SpMM
+	tn.Threads = cfg.Threads
 	minDim := w.Rows
 	if w.Cols < minDim {
 		minDim = w.Cols
@@ -436,7 +446,7 @@ func RandomizedSVDRun(w *sparse.CSR, cfg SVDConfig) RSVDResult {
 	g := dense.Random(w.Cols, b, rng)
 	sp := run.Span("rsvd.block")
 	blockStart := time.Now()
-	block := dense.Orthonormalize(w.MulDense(g, threads))
+	block := dense.Orthonormalize(w.MulDenseOpts(g, tn))
 	sp.Set("block", 0).Set("of", q)
 	sp.End()
 	blocksTotal.Inc()
@@ -458,7 +468,7 @@ func RandomizedSVDRun(w *sparse.CSR, cfg SVDConfig) RSVDResult {
 		}
 		blockStart = time.Now()
 		sp = run.Span("rsvd.block")
-		block = dense.Orthonormalize(applyGram(w, block, threads))
+		block = dense.Orthonormalize(applyGram(w, block, tn))
 		copyBlock(kry, block, i*b)
 		elapsed := time.Since(blockStart)
 		sp.Set("block", i).Set("of", q)
@@ -475,7 +485,7 @@ func RandomizedSVDRun(w *sparse.CSR, cfg SVDConfig) RSVDResult {
 	orthoSeconds.ObserveSince(qrStart)
 	// Project: M = Kᵀ (WWᵀ) K = (WᵀK)ᵀ (WᵀK).
 	sp = run.Span("rsvd.project")
-	wtk := w.TMulDense(kq, threads)
+	wtk := w.TMulDenseOpts(kq, tn)
 	m := dense.TMul(wtk, wtk)
 	sp.End()
 	sp = run.Span("rsvd.eig")
@@ -497,8 +507,8 @@ func RandomizedSVDRun(w *sparse.CSR, cfg SVDConfig) RSVDResult {
 }
 
 // applyGram returns (W Wᵀ)·x using two sparse products.
-func applyGram(w *sparse.CSR, x *dense.Matrix, threads int) *dense.Matrix {
-	return w.MulDense(w.TMulDense(x, threads), threads)
+func applyGram(w *sparse.CSR, x *dense.Matrix, tn sparse.Tuning) *dense.Matrix {
+	return w.MulDenseOpts(w.TMulDenseOpts(x, tn), tn)
 }
 
 func copyBlock(dst, src *dense.Matrix, colOff int) {

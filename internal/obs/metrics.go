@@ -195,6 +195,41 @@ func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 	return m.h
 }
 
+// CounterVec is a family of counters distinguished by one label value —
+// the per-strategy / per-kernel dispatch counters the SpMM engine emits.
+// Each label lazily materializes a plain counter named
+// "<base>_<label>_total", so the family needs no label support in the
+// exposition formats. Handles are cached: With is lock-free after the
+// first call for a given label.
+type CounterVec struct {
+	r          *Registry
+	base, help string
+	handles    sync.Map // label → *Counter
+}
+
+// CounterVec returns a counter family rooted at base (no "_total"
+// suffix; With appends it after the label).
+func (r *Registry) CounterVec(base, help string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{r: r, base: base, help: help}
+}
+
+// With returns the counter for the given label value, creating it on
+// first use. Nil-safe: a nil family hands back a nil (no-op) counter.
+func (v *CounterVec) With(label string) *Counter {
+	if v == nil {
+		return nil
+	}
+	if c, ok := v.handles.Load(label); ok {
+		return c.(*Counter)
+	}
+	c := v.r.Counter(v.base+"_"+label+"_total", v.help+" ["+label+"]")
+	actual, _ := v.handles.LoadOrStore(label, c)
+	return actual.(*Counter)
+}
+
 func (r *Registry) getOrCreate(name, help string, mk func() *metric) *metric {
 	r.mu.RLock()
 	m := r.metrics[name]

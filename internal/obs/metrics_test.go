@@ -137,3 +137,52 @@ func TestNilRegistrySafe(t *testing.T) {
 		t.Error("nil registry snapshot must be empty")
 	}
 }
+
+func TestCounterVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("spmm_kernel", "products per kernel")
+	v.With("k8").Inc()
+	v.With("k8").Add(2)
+	v.With("generic").Inc()
+	if got := v.With("k8").Value(); got != 3 {
+		t.Errorf("k8 = %v, want 3", got)
+	}
+	// Label handles materialize as plain counters with the _total suffix.
+	if got := r.Counter("spmm_kernel_k8_total", "").Value(); got != 3 {
+		t.Errorf("spmm_kernel_k8_total = %v, want 3", got)
+	}
+	if got := r.Counter("spmm_kernel_generic_total", "").Value(); got != 1 {
+		t.Errorf("spmm_kernel_generic_total = %v, want 1", got)
+	}
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "spmm_kernel_k8_total 3") {
+		t.Errorf("exposition missing labeled counter:\n%s", sb.String())
+	}
+	// Nil family and nil registry are no-ops.
+	var nilVec *CounterVec
+	nilVec.With("x").Inc()
+	var nilReg *Registry
+	nilReg.CounterVec("a", "b").With("c").Inc()
+}
+
+func TestCounterVecConcurrent(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("conc", "")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				v.With("a").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := v.With("a").Value(); got != 4000 {
+		t.Errorf("concurrent labeled counter = %v, want 4000", got)
+	}
+}

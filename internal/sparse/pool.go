@@ -1,0 +1,62 @@
+package sparse
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The engine runs every parallel product on one process-wide pool of
+// worker goroutines instead of forking a fresh goroutine set per call.
+// GEBE's solvers issue thousands of SpMM calls per run (t sweeps × τ hops
+// for KSI alone), so the per-call fork/join — goroutine allocation,
+// scheduling, and stack growth — is pure overhead on the hot path. The
+// pool is sized to GOMAXPROCS, started lazily on first use, and lives for
+// the process: workers block on the task channel when idle, which costs
+// nothing.
+var (
+	poolOnce  sync.Once
+	poolTasks chan func()
+)
+
+func poolStart() {
+	n := runtime.GOMAXPROCS(0)
+	poolTasks = make(chan func(), 4*n)
+	for i := 0; i < n; i++ {
+		go func() {
+			for f := range poolTasks {
+				f()
+			}
+		}()
+	}
+}
+
+// parallelParts runs f(0), …, f(parts-1) and returns when all parts have
+// finished. Part 0 always runs on the calling goroutine; the rest are
+// handed to the pool, falling back to inline execution when the pool's
+// queue is full. Submission never blocks, so a task that itself calls
+// parallelParts cannot deadlock the pool — it just runs its sub-parts
+// inline.
+func parallelParts(parts int, f func(part int)) {
+	if parts <= 1 {
+		f(0)
+		return
+	}
+	poolOnce.Do(poolStart)
+	var wg sync.WaitGroup
+	wg.Add(parts - 1)
+	for w := 1; w < parts; w++ {
+		task := func(w int) func() {
+			return func() {
+				defer wg.Done()
+				f(w)
+			}
+		}(w)
+		select {
+		case poolTasks <- task:
+		default:
+			task()
+		}
+	}
+	f(0)
+	wg.Wait()
+}

@@ -1,10 +1,17 @@
-// Package sparse implements compressed sparse row (CSR) matrices with the
-// kernels GEBE's solvers are built on: sparse-times-dense products for the
-// weight matrix W and its transpose, row/column aggregates, and scaling.
+// Package sparse implements compressed sparse row (CSR) matrices and the
+// shape-aware SpMM engine GEBE's solvers are built on: sparse-times-dense
+// products for the weight matrix W and its transpose, row/column
+// aggregates, and scaling.
 //
 // The representation is immutable after construction: GEBE never mutates
 // W, and immutability lets multiple goroutines share one matrix without
-// synchronization.
+// synchronization — and lets the engine build the transpose once and
+// reuse it for every Wᵀ product (see Transpose).
+//
+// The product entry points come in pairs: MulDense/MulVec and their
+// transposed forms take a plain thread count and run the shape-aware
+// defaults; the *Opts variants accept a Tuning that call sites use to
+// pass scheduling hints (strategy, parallelism gate) down the stack.
 package sparse
 
 import (
@@ -24,12 +31,17 @@ type Entry struct {
 	Val      float64
 }
 
-// CSR is a compressed sparse row matrix.
+// CSR is a compressed sparse row matrix. The exported structure is
+// immutable after construction; the unexported fields cache the lazily
+// built transpose, so a CSR must not be copied by value once in use.
 type CSR struct {
 	Rows, Cols int
 	RowPtr     []int     // len Rows+1; row i occupies [RowPtr[i], RowPtr[i+1])
 	ColIdx     []int     // len NNZ, column index per stored value
 	Val        []float64 // len NNZ
+
+	tOnce  sync.Once
+	tCache *CSR
 }
 
 // NNZ returns the number of stored entries.
@@ -124,7 +136,9 @@ func (m *CSR) At(i, j int) float64 {
 	return 0
 }
 
-// T returns the transpose as a new CSR matrix.
+// T returns the transpose as a new, independent CSR matrix. Callers on
+// the product hot path should prefer Transpose, which builds once and
+// caches.
 func (m *CSR) T() *CSR {
 	counts := make([]int, m.Cols+1)
 	for _, c := range m.ColIdx {
@@ -147,6 +161,26 @@ func (m *CSR) T() *CSR {
 		}
 	}
 	return &CSR{Rows: m.Cols, Cols: m.Rows, RowPtr: counts, ColIdx: colIdx, Val: val}
+}
+
+// Transpose returns mᵀ, building it on first call and caching it for the
+// life of m (safe for concurrent first callers via sync.Once). Because
+// the matrix is immutable the cache can never go stale; it is what turns
+// every Wᵀ product from a scatter with per-worker accumulators into a
+// race-free row-parallel gather. The cost is one counting sort over the
+// nonzeros plus a second copy of the matrix in memory — pass
+// StrategyScatter for one-shot products where that trade is wrong.
+func (m *CSR) Transpose() *CSR {
+	m.tOnce.Do(func() {
+		km := kernels.Load()
+		start := time.Now()
+		m.tCache = m.T()
+		if km != nil {
+			km.transposeBuilds.Inc()
+			km.transposeSeconds.ObserveSince(start)
+		}
+	})
+	return m.tCache
 }
 
 // Scaled returns a copy of m with every stored value multiplied by s.
@@ -203,225 +237,95 @@ func (m *CSR) ToDense() *dense.Matrix {
 	return out
 }
 
+// MulDense computes m · b with the shape-aware defaults, capping
+// parallelism at threads goroutines (threads <= 1 means sequential).
+func (m *CSR) MulDense(b *dense.Matrix, threads int) *dense.Matrix {
+	return m.MulDenseOpts(b, Tuning{Threads: threads})
+}
+
+// TMulDense computes mᵀ · b with the shape-aware defaults; see
+// TMulDenseOpts for the execution plan.
+func (m *CSR) TMulDense(b *dense.Matrix, threads int) *dense.Matrix {
+	return m.TMulDenseOpts(b, Tuning{Threads: threads})
+}
+
+// MulVec computes m · x with the shape-aware defaults, mirroring MulDense.
+func (m *CSR) MulVec(x []float64, threads int) []float64 {
+	return m.MulVecOpts(x, Tuning{Threads: threads})
+}
+
+// TMulVec computes mᵀ · x with the shape-aware defaults, mirroring
+// TMulDense.
+func (m *CSR) TMulVec(x []float64, threads int) []float64 {
+	return m.TMulVecOpts(x, Tuning{Threads: threads})
+}
+
+// op indexes the four product entry points in kernelMetrics.
+type op int
+
+const (
+	opMul op = iota
+	opTMul
+	opMulVec
+	opTMulVec
+	numOps
+)
+
 // kernelMetrics holds pre-resolved metric handles for the SpMM hot
 // paths. Kernel telemetry is off by default — the only per-call cost is
 // one atomic pointer load — and is switched on by EnableMetrics (wired
 // to -v/-vv/-debug-addr in the commands).
 type kernelMetrics struct {
-	mulSeconds, tmulSeconds *obs.Histogram
-	mulCalls, tmulCalls     *obs.Counter
-	fma                     *obs.Counter
+	seconds [numOps]*obs.Histogram
+	calls   [numOps]*obs.Counter
+	fma     *obs.Counter
+	// strategy and kernel count which execution plan and which inner
+	// kernel each product dispatched to, one counter per label.
+	strategy, kernel *obs.CounterVec
+	transposeBuilds  *obs.Counter
+	transposeSeconds *obs.Histogram
 }
 
 var kernels atomic.Pointer[kernelMetrics]
 
-// EnableMetrics records SpMM kernel timings and multiply-add counts into
-// r; nil disables collection again.
+// EnableMetrics records SpMM kernel timings, dispatch counts and
+// multiply-add counts into r; nil disables collection again. All four
+// product entry points are instrumented — MulVec/TMulVec drive
+// TopSingularValue and are as hot as the block products.
 func EnableMetrics(r *obs.Registry) {
 	if r == nil {
 		kernels.Store(nil)
 		return
 	}
-	kernels.Store(&kernelMetrics{
-		mulSeconds:  r.Histogram("sparse_spmm_seconds", "wall-clock of W·B products", nil),
-		tmulSeconds: r.Histogram("sparse_spmm_t_seconds", "wall-clock of Wᵀ·B products", nil),
-		mulCalls:    r.Counter("sparse_spmm_calls_total", "number of W·B products"),
-		tmulCalls:   r.Counter("sparse_spmm_t_calls_total", "number of Wᵀ·B products"),
-		fma:         r.Counter("sparse_spmm_fma_total", "multiply-adds performed (nnz × block cols)"),
-	})
+	km := &kernelMetrics{
+		fma:              r.Counter("sparse_spmm_fma_total", "multiply-adds performed (nnz × block cols)"),
+		strategy:         r.CounterVec("sparse_spmm_strategy", "products executed per engine strategy"),
+		kernel:           r.CounterVec("sparse_spmm_kernel", "products executed per inner kernel"),
+		transposeBuilds:  r.Counter("sparse_transpose_builds_total", "cached transposes materialized"),
+		transposeSeconds: r.Histogram("sparse_transpose_build_seconds", "wall-clock to build a cached transpose", nil),
+	}
+	km.seconds[opMul] = r.Histogram("sparse_spmm_seconds", "wall-clock of W·B products", nil)
+	km.seconds[opTMul] = r.Histogram("sparse_spmm_t_seconds", "wall-clock of Wᵀ·B products", nil)
+	km.seconds[opMulVec] = r.Histogram("sparse_spmv_seconds", "wall-clock of W·x products", nil)
+	km.seconds[opTMulVec] = r.Histogram("sparse_spmv_t_seconds", "wall-clock of Wᵀ·x products", nil)
+	km.calls[opMul] = r.Counter("sparse_spmm_calls_total", "number of W·B products")
+	km.calls[opTMul] = r.Counter("sparse_spmm_t_calls_total", "number of Wᵀ·B products")
+	km.calls[opMulVec] = r.Counter("sparse_spmv_calls_total", "number of W·x products")
+	km.calls[opTMulVec] = r.Counter("sparse_spmv_t_calls_total", "number of Wᵀ·x products")
+	kernels.Store(km)
 }
 
-// MulDense computes m · b for dense b, sharding output rows across at most
-// threads goroutines (threads <= 1 means sequential). This is the
-// O(|E|·k) kernel at the heart of Algorithm 1.
-func (m *CSR) MulDense(b *dense.Matrix, threads int) *dense.Matrix {
-	if m.Cols != b.Rows {
-		panic(fmt.Sprintf("sparse: MulDense shape mismatch %dx%d * %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
-	}
-	km := kernels.Load()
-	var t0 time.Time
-	if km != nil {
-		t0 = time.Now()
-	}
-	out := dense.New(m.Rows, b.Cols)
-	parallelRows(m.Rows, threads, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			orow := out.Row(i)
-			for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
-				w := m.Val[p]
-				brow := b.Row(m.ColIdx[p])
-				for j, bv := range brow {
-					orow[j] += w * bv
-				}
-			}
-		}
-	})
-	if km != nil {
-		km.mulSeconds.ObserveSince(t0)
-		km.mulCalls.Inc()
-		km.fma.Add(float64(m.NNZ()) * float64(b.Cols))
-	}
-	return out
-}
-
-// TMulDense computes mᵀ · b without materializing the transpose. The
-// scatter pattern makes naive row-sharding racy, so each worker owns a
-// private accumulator that is reduced at the end; for GEBE's shapes
-// (k ≤ a few hundred) the accumulators are small.
-func (m *CSR) TMulDense(b *dense.Matrix, threads int) *dense.Matrix {
-	if m.Rows != b.Rows {
-		panic(fmt.Sprintf("sparse: TMulDense shape mismatch (%dx%d)ᵀ * %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
-	}
-	km := kernels.Load()
-	var t0 time.Time
-	if km != nil {
-		t0 = time.Now()
-	}
-	nw := workerCount(m.Rows, threads)
-	if nw <= 1 {
-		out := dense.New(m.Cols, b.Cols)
-		m.tMulRange(b, out, 0, m.Rows)
-		km.recordTMul(t0, m, b)
-		return out
-	}
-	partials := make([]*dense.Matrix, nw)
-	var wg sync.WaitGroup
-	chunk := (m.Rows + nw - 1) / nw
-	for w := 0; w < nw; w++ {
-		lo := w * chunk
-		hi := min(lo+chunk, m.Rows)
-		partials[w] = dense.New(m.Cols, b.Cols)
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			m.tMulRange(b, partials[w], lo, hi)
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	out := partials[0]
-	for w := 1; w < nw; w++ {
-		out.AddScaled(1, partials[w])
-	}
-	km.recordTMul(t0, m, b)
-	return out
-}
-
-// recordTMul is nil-safe so the disabled path stays branch-only.
-func (km *kernelMetrics) recordTMul(t0 time.Time, m *CSR, b *dense.Matrix) {
+// record books one product: wall-clock, call count, multiply-adds (nnz·k
+// regardless of strategy or kernel — the invariant the equivalence tests
+// pin), and the dispatch counters. Nil-safe so the disabled path stays
+// branch-only.
+func (km *kernelMetrics) record(o op, t0 time.Time, nnz, k int, strategy, kernel string) {
 	if km == nil {
 		return
 	}
-	km.tmulSeconds.ObserveSince(t0)
-	km.tmulCalls.Inc()
-	km.fma.Add(float64(m.NNZ()) * float64(b.Cols))
-}
-
-func (m *CSR) tMulRange(b, out *dense.Matrix, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		brow := b.Row(i)
-		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
-			w := m.Val[p]
-			orow := out.Row(m.ColIdx[p])
-			for j, bv := range brow {
-				orow[j] += w * bv
-			}
-		}
-	}
-}
-
-// MulVec computes m · x for a dense vector x, sharding output rows
-// across at most threads goroutines (threads <= 1 means sequential),
-// mirroring MulDense.
-func (m *CSR) MulVec(x []float64, threads int) []float64 {
-	if m.Cols != len(x) {
-		panic(fmt.Sprintf("sparse: MulVec shape mismatch %dx%d * %d", m.Rows, m.Cols, len(x)))
-	}
-	out := make([]float64, m.Rows)
-	parallelRows(m.Rows, threads, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			var s float64
-			for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
-				s += m.Val[p] * x[m.ColIdx[p]]
-			}
-			out[i] = s
-		}
-	})
-	return out
-}
-
-// TMulVec computes mᵀ · x. Like TMulDense, the scatter pattern makes
-// naive row-sharding racy, so each worker owns a private accumulator
-// that is reduced at the end.
-func (m *CSR) TMulVec(x []float64, threads int) []float64 {
-	if m.Rows != len(x) {
-		panic(fmt.Sprintf("sparse: TMulVec shape mismatch (%dx%d)ᵀ * %d", m.Rows, m.Cols, len(x)))
-	}
-	nw := workerCount(m.Rows, threads)
-	if nw <= 1 {
-		out := make([]float64, m.Cols)
-		m.tMulVecRange(x, out, 0, m.Rows)
-		return out
-	}
-	partials := make([][]float64, nw)
-	var wg sync.WaitGroup
-	chunk := (m.Rows + nw - 1) / nw
-	for w := 0; w < nw; w++ {
-		lo := w * chunk
-		hi := min(lo+chunk, m.Rows)
-		partials[w] = make([]float64, m.Cols)
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			m.tMulVecRange(x, partials[w], lo, hi)
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	out := partials[0]
-	for w := 1; w < nw; w++ {
-		for j, v := range partials[w] {
-			out[j] += v
-		}
-	}
-	return out
-}
-
-func (m *CSR) tMulVecRange(x, out []float64, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		xv := x[i]
-		if xv == 0 {
-			continue
-		}
-		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
-			out[m.ColIdx[p]] += m.Val[p] * xv
-		}
-	}
-}
-
-func workerCount(rows, threads int) int {
-	if threads < 1 {
-		threads = 1
-	}
-	if rows < 4096 { // parallelism not worth the fork/join below this
-		return 1
-	}
-	return threads
-}
-
-func parallelRows(rows, threads int, f func(lo, hi int)) {
-	nw := workerCount(rows, threads)
-	if nw <= 1 {
-		f(0, rows)
-		return
-	}
-	chunk := (rows + nw - 1) / nw
-	var wg sync.WaitGroup
-	for lo := 0; lo < rows; lo += chunk {
-		hi := min(lo+chunk, rows)
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			f(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	km.seconds[o].ObserveSince(t0)
+	km.calls[o].Inc()
+	km.fma.Add(float64(nnz) * float64(k))
+	km.strategy.With(strategy).Inc()
+	km.kernel.With(kernel).Inc()
 }
