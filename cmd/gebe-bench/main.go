@@ -11,6 +11,7 @@
 //	gebe-bench -exp fig5              # parameter sweeps, link prediction (Figure 5)
 //	gebe-bench -exp all
 //	gebe-bench -kernels -json results/  # SpMM microbench → results/BENCH_SPMM.json
+//	gebe-bench -dense -json results/    # dense GEMM/QR microbench → results/BENCH_DENSE.json
 //
 // Restrict work with -datasets dblp,movielens and -methods "GEBE^p,NRP".
 //
@@ -32,6 +33,7 @@ import (
 	"strings"
 	"time"
 
+	"gebe/internal/dense"
 	"gebe/internal/experiments"
 	"gebe/internal/obs"
 	"gebe/internal/sparse"
@@ -57,6 +59,8 @@ func main() {
 		jsonPath    = flag.String("json", "", "write machine-readable results to this file (or BENCH_<exp>.json files if a directory)")
 		manifestDir = flag.String("manifest-dir", "results", "directory for RUN_<exp>.json run manifests (empty disables)")
 		kernelBench = flag.Bool("kernels", false, "run the SpMM kernel microbench (legacy vs tuned engine) instead of the paper experiments")
+		denseBench  = flag.Bool("dense", false, "run the dense engine microbench (legacy vs blocked GEMM/QR) instead of the paper experiments")
+		quick       = flag.Bool("quick", false, "with -dense: CI-smoke grid (small shapes, short timing spans)")
 	)
 	cli := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -67,6 +71,7 @@ func main() {
 	}
 	if cli.Active() {
 		sparse.EnableMetrics(obs.DefaultRegistry())
+		dense.EnableMetrics(obs.DefaultRegistry())
 	}
 
 	if *kernelBench {
@@ -82,6 +87,29 @@ func main() {
 			}
 		}
 		stop()
+		return
+	}
+
+	if *denseBench {
+		start := time.Now()
+		rows := runDenseBench(os.Stdout, runtime.GOMAXPROCS(0), *quick)
+		rep := []benchResult{{
+			Experiment: "DENSE", ElapsedSeconds: time.Since(start).Seconds(), Rows: rows,
+		}}
+		if *jsonPath != "" {
+			if err := writeReport(*jsonPath, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "gebe-bench: writing -json report: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		stop()
+		// Divergence is a correctness failure, not a slow run: CI points
+		// its smoke step here.
+		if rows.Summary["max_abs_diff"] > 1e-12 || rows.Summary["all_fma_match"] != 1 {
+			fmt.Fprintf(os.Stderr, "gebe-bench: dense engine diverges from legacy (max |diff| %.3e, fma match %v)\n",
+				rows.Summary["max_abs_diff"], rows.Summary["all_fma_match"] == 1)
+			os.Exit(1)
+		}
 		return
 	}
 

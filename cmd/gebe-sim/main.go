@@ -22,6 +22,7 @@ import (
 
 	"gebe"
 	"gebe/internal/core"
+	"gebe/internal/dense"
 	"gebe/internal/obs"
 	"gebe/internal/pmf"
 	"gebe/internal/sparse"
@@ -55,6 +56,7 @@ func main() {
 	defer stop()
 	if cli.Active() {
 		sparse.EnableMetrics(obs.DefaultRegistry())
+		dense.EnableMetrics(obs.DefaultRegistry())
 	}
 	g, err := gebe.LoadGraph(*in)
 	if err != nil {

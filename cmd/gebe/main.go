@@ -54,6 +54,7 @@ func main() {
 	defer stop()
 	if cli.Active() {
 		sparse.EnableMetrics(obs.DefaultRegistry())
+		dense.EnableMetrics(obs.DefaultRegistry())
 	}
 	g, err := gebe.LoadGraph(*in)
 	if err != nil {

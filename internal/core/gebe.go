@@ -51,7 +51,7 @@ func scaledWeightMatrix(g *bigraph.Graph, opt Options, run *obs.Run) (*sparse.CS
 	sp := run.Span("sigma1")
 	start := time.Now()
 	pr := linalg.TopSingularValueRun(w, linalg.PowerConfig{
-		Seed: opt.Seed ^ 0x5ca1ab1e, Threads: opt.Threads, SpMM: opt.SpMM, Deadline: opt.Deadline,
+		Seed: opt.Seed ^ 0x5ca1ab1e, Threads: opt.Threads, SpMM: opt.SpMM, Dense: opt.dn(), Deadline: opt.Deadline,
 	})
 	sp.Set("sigma1", pr.Sigma).Set("iterations", pr.Iterations).Set("deadline_hit", pr.DeadlineHit)
 	sp.End()
@@ -125,8 +125,8 @@ func GEBE(g *bigraph.Graph, opt Options) (*Embedding, error) {
 func (o Options) ksiConfig(run *obs.Run) linalg.KSIConfig {
 	return linalg.KSIConfig{
 		K: o.K, Sweeps: o.Iters, Tol: o.Tol, Seed: o.Seed,
-		Deadline: o.Deadline,
-		Window:   o.StopWindow, Flatness: o.StopFlatness, NoAdaptive: o.NoAdaptiveStop,
+		Deadline: o.Deadline, Dense: o.dn(),
+		Window: o.StopWindow, Flatness: o.StopFlatness, NoAdaptive: o.NoAdaptiveStop,
 		Obs: run,
 	}
 }

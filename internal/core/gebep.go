@@ -41,7 +41,7 @@ func GEBEP(g *bigraph.Graph, opt Options) (*Embedding, error) {
 	rsvd := run.Span("rsvd")
 	svd := linalg.RandomizedSVDRun(w, linalg.SVDConfig{
 		K: opt.K, Eps: opt.Epsilon, Seed: opt.Seed, Threads: opt.Threads,
-		SpMM: opt.SpMM, Deadline: opt.Deadline, Obs: run,
+		SpMM: opt.SpMM, Dense: opt.dn(), Deadline: opt.Deadline, Obs: run,
 	})
 	rsvd.Set("krylov_dim", svd.KrylovDim).Set("iterations", svd.Iterations).Set("deadline_hit", svd.DeadlineHit)
 	rsvd.End()

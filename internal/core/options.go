@@ -43,6 +43,13 @@ type Options struct {
 	// selects the shape-aware defaults; SpMM.Threads is ignored — the
 	// Threads field above governs parallelism.
 	SpMM sparse.Tuning
+	// Dense tunes the dense engine behind every QR and block product
+	// (KSI's per-sweep orthonormalization and subspace residual, GEBE^p's
+	// blockwise and global QR and projection): the execution strategy and
+	// the multiply-add parallelism gate. The zero value selects the
+	// register-blocked defaults; Dense.Threads is ignored — the Threads
+	// field above governs parallelism.
+	Dense dense.Tuning
 	// Deadline optionally bounds solver runtime (cooperative, checked per
 	// KSI sweep, per randomized-SVD Krylov block, and per σ₁ power
 	// iteration); a zero value means no limit. Every solver that hits it —
@@ -167,6 +174,9 @@ func (o Options) validate(g *bigraph.Graph, needBothSides bool) error {
 	if err := o.SpMM.Validate(); err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
+	if err := o.Dense.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
 	return nil
 }
 
@@ -174,6 +184,14 @@ func (o Options) validate(g *bigraph.Graph, needBothSides bool) error {
 // sparse engine consumes.
 func (o Options) spmm() sparse.Tuning {
 	t := o.SpMM
+	t.Threads = o.Threads
+	return t
+}
+
+// dn merges the solver thread cap into the dense tuning, the form the
+// dense engine consumes.
+func (o Options) dn() dense.Tuning {
+	t := o.Dense
 	t.Threads = o.Threads
 	return t
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"strings"
 )
 
 // Matrix is a row-major dense matrix. The zero value is an empty 0x0
@@ -110,65 +111,21 @@ func (m *Matrix) T() *Matrix {
 	return out
 }
 
-// Mul returns a*b.
+// Mul returns a*b, dispatched through the dense engine's default tuning
+// (register-blocked kernels, sequential — the zero Tuning). Call sites
+// with a thread budget should pass it via MulOpts.
 func Mul(a, b *Matrix) *Matrix {
-	if a.Cols != b.Rows {
-		panic(fmt.Sprintf("dense: Mul shape mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	out := New(a.Rows, b.Cols)
-	// ikj loop order: stream b's rows, accumulate into out's rows.
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
-	return out
+	return MulOpts(a, b, Tuning{})
 }
 
-// MulT returns a * bᵀ.
+// MulT returns a * bᵀ under the engine's default tuning; see Mul.
 func MulT(a, b *Matrix) *Matrix {
-	if a.Cols != b.Cols {
-		panic(fmt.Sprintf("dense: MulT shape mismatch %dx%d * (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	out := New(a.Rows, b.Rows)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			orow[j] = Dot(arow, b.Row(j))
-		}
-	}
-	return out
+	return MulTOpts(a, b, Tuning{})
 }
 
-// TMul returns aᵀ * b.
+// TMul returns aᵀ * b under the engine's default tuning; see Mul.
 func TMul(a, b *Matrix) *Matrix {
-	if a.Rows != b.Rows {
-		panic(fmt.Sprintf("dense: TMul shape mismatch (%dx%d)ᵀ * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	out := New(a.Cols, b.Cols)
-	for k := 0; k < a.Rows; k++ {
-		arow := a.Row(k)
-		brow := b.Row(k)
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			orow := out.Row(i)
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
-	return out
+	return TMulOpts(a, b, Tuning{})
 }
 
 // Add returns a+b.
@@ -184,11 +141,7 @@ func Add(a, b *Matrix) *Matrix {
 // Sub returns a-b.
 func Sub(a, b *Matrix) *Matrix {
 	sameShape(a, b, "Sub")
-	out := New(a.Rows, a.Cols)
-	for i, v := range a.Data {
-		out.Data[i] = v - b.Data[i]
-	}
-	return out
+	return SubInto(New(a.Rows, a.Cols), a, b)
 }
 
 // AddScaled sets a ← a + s*b in place.
@@ -262,7 +215,7 @@ func (m *Matrix) MaxAbs() float64 {
 	return mx
 }
 
-// Cols2 returns a copy of column j as a slice.
+// Col returns a copy of column j as a slice.
 func (m *Matrix) Col(j int) []float64 {
 	if j < 0 || j >= m.Cols {
 		panic(fmt.Sprintf("dense: col %d out of range %d", j, m.Cols))
@@ -302,20 +255,22 @@ func Equal(a, b *Matrix, tol float64) bool {
 
 // String renders a small matrix for debugging.
 func (m *Matrix) String() string {
-	s := fmt.Sprintf("%dx%d[", m.Rows, m.Cols)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%dx%d[", m.Rows, m.Cols)
 	for i := 0; i < m.Rows && i < 8; i++ {
 		if i > 0 {
-			s += "; "
+			b.WriteString("; ")
 		}
 		for j := 0; j < m.Cols && j < 8; j++ {
 			if j > 0 {
-				s += " "
+				b.WriteByte(' ')
 			}
-			s += fmt.Sprintf("%.4g", m.At(i, j))
+			fmt.Fprintf(&b, "%.4g", m.At(i, j))
 		}
 	}
 	if m.Rows > 8 || m.Cols > 8 {
-		s += " ..."
+		b.WriteString(" ...")
 	}
-	return s + "]"
+	b.WriteByte(']')
+	return b.String()
 }

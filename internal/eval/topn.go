@@ -34,10 +34,15 @@ type TopNConfig struct {
 	// Threads caps scorer parallelism; <1 selects GOMAXPROCS.
 	Threads int
 	// Deadline optionally bounds the evaluation (cooperative, checked
-	// once per scored user); when it fires TopNRun returns
+	// once per scored user batch); when it fires TopNRun returns
 	// budget.ErrExceeded.
 	Deadline time.Time
 }
+
+// topNTile is how many users each worker scores per GEMM: one
+// U_tile·Vᵀ product streams V once for the whole tile instead of once
+// per user, which is where scoring time goes when NV is large.
+const topNTile = 16
 
 // TopN runs the paper's top-N recommendation protocol: for every user
 // with held-out edges, rank all items by U[u]·V[v] excluding training
@@ -98,9 +103,14 @@ func TopNRun(train *bigraph.Graph, test []bigraph.Edge, u, v *dense.Matrix, cfg 
 		wg.Add(1)
 		go func(users []int) {
 			defer wg.Done()
-			scores := make([]float64, train.NV)
+			// Per-worker tile buffers, reused across batches: the user rows
+			// gathered into a contiguous block, and the score tile the
+			// batched GEMM fills. Tuning{} keeps the product sequential —
+			// the workers are the parallelism here.
+			ubatch := dense.New(topNTile, u.Cols)
+			scores := dense.New(topNTile, train.NV)
 			var f1, ndcg, mrr float64
-			for _, uu := range users {
+			for lo := 0; lo < len(users); lo += topNTile {
 				if expired.Load() {
 					return
 				}
@@ -108,15 +118,23 @@ func TopNRun(train *bigraph.Graph, test []bigraph.Edge, u, v *dense.Matrix, cfg 
 					expired.Store(true)
 					return
 				}
-				urow := u.Row(uu)
-				for vv := 0; vv < train.NV; vv++ {
-					scores[vv] = dense.Dot(urow, v.Row(vv))
+				batch := users[lo:min(lo+topNTile, len(users))]
+				ub, st := ubatch, scores
+				if len(batch) < topNTile {
+					ub = &dense.Matrix{Rows: len(batch), Cols: u.Cols, Data: ubatch.Data[:len(batch)*u.Cols]}
+					st = &dense.Matrix{Rows: len(batch), Cols: train.NV, Data: scores.Data[:len(batch)*train.NV]}
 				}
-				rec := TopNIndices(scores, n, trainItems[uu])
-				truth := groundTruth(heldOut[uu], n)
-				f1 += F1At(rec, truth, n)
-				ndcg += NDCGAt(rec, truth, n)
-				mrr += MRRAt(rec, truth, n)
+				for bi, uu := range batch {
+					copy(ub.Row(bi), u.Row(uu))
+				}
+				dense.MulTInto(st, ub, v, dense.Tuning{})
+				for bi, uu := range batch {
+					rec := TopNIndices(st.Row(bi), n, trainItems[uu])
+					truth := groundTruth(heldOut[uu], n)
+					f1 += F1At(rec, truth, n)
+					ndcg += NDCGAt(rec, truth, n)
+					mrr += MRRAt(rec, truth, n)
+				}
 			}
 			mu.Lock()
 			res.F1 += f1

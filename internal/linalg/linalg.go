@@ -43,6 +43,11 @@ type PowerConfig struct {
 	// SpMM carries scheduling hints for the sparse products (strategy,
 	// parallelism gate); Threads above overrides SpMM.Threads.
 	SpMM sparse.Tuning
+	// Dense carries scheduling hints for dense block work. The power
+	// iteration itself is vector-only, so today the field only keeps the
+	// config surface symmetric with KSIConfig/SVDConfig; block-power
+	// variants would consume it.
+	Dense dense.Tuning
 	// Deadline is a cooperative cutoff checked once per iteration; zero
 	// never fires.
 	Deadline time.Time
@@ -192,6 +197,10 @@ type KSIConfig struct {
 	// NoAdaptive disables the early-exit controller: the sweep loop then
 	// runs until Tol, Deadline or the sweep budget, exactly as before.
 	NoAdaptive bool
+	// Dense carries scheduling hints for the dense engine behind every
+	// per-sweep QR and block product (strategy, thread cap, parallelism
+	// gate); the zero value runs the sequential blocked defaults.
+	Dense dense.Tuning
 	// Obs receives per-sweep telemetry (spans, residual logs, metrics,
 	// progress events). nil runs silent.
 	Obs *obs.Run
@@ -220,7 +229,7 @@ func KSIRun(op Operator, cfg KSIConfig) KSIResult {
 	reg := run.Registry()
 	sweepsTotal := reg.Counter("linalg_ksi_sweeps_total", "KSI sweeps performed")
 	sweepSeconds := reg.Histogram("linalg_ksi_sweep_seconds", "wall-clock per KSI sweep", nil)
-	orthoSeconds := reg.Histogram("linalg_orthonormalize_seconds", "wall-clock per QR orthonormalization", nil)
+	orthoSeconds := reg.Histogram("linalg_orthonormalize_seconds", "wall-clock per QR orthonormalization", obs.FastBuckets)
 	residualGauge := reg.Gauge("linalg_ksi_residual", "latest KSI subspace residual")
 
 	var ctrl *decayController
@@ -228,29 +237,21 @@ func KSIRun(op Operator, cfg KSIConfig) KSIResult {
 		ctrl = newDecayController(cfg.Window, cfg.Flatness, tol, t)
 	}
 	rng := NewRand(cfg.Seed)
-	z := dense.Orthonormalize(dense.Random(n, k, rng))
+	sw := newKSISweep(op, dense.OrthonormalizeOpts(dense.Random(n, k, rng), cfg.Dense), cfg.Dense)
 	res := KSIResult{StopReason: StopBudget}
 	for sweep := 1; sweep <= t; sweep++ {
 		sweepStart := time.Now()
 		sp := run.Span("ksi.sweep")
-		q := op.Apply(z)
+		hz := sw.apply()
 		var ritz []float64
 		if ctrl != nil {
 			// Rayleigh–Ritz values of the pre-sweep basis, from the H·Z
 			// product the sweep computes anyway — the controller's quality
 			// signal, at O(n·k²) on top of the sweep's O(n·k·τ) SpMMs.
-			ritz = ritzValues(z, q)
+			ritz = ritzValues(sw.z, hz)
 		}
-		qrStart := time.Now()
-		zNew, _ := dense.QR(q)
-		qrDur := time.Since(qrStart)
-		// Subspace change: the part of the new basis outside span(z).
-		p := dense.TMul(z, zNew)      // k×k
-		proj := dense.Mul(z, p)       // n×k
-		diff := dense.Sub(zNew, proj) // residual outside the old span
-		frob := diff.FrobeniusNorm()
+		frob, qrDur := sw.finish(hz)
 		change := frob / math.Sqrt(float64(k))
-		z = zNew
 		res.Sweeps = sweep
 
 		elapsed := time.Since(sweepStart)
@@ -258,8 +259,12 @@ func KSIRun(op Operator, cfg KSIConfig) KSIResult {
 		sweepSeconds.Observe(elapsed.Seconds())
 		orthoSeconds.Observe(qrDur.Seconds())
 		residualGauge.Set(change)
-		sp.Set("sweep", sweep).Set("residual", change).Set("qr_seconds", qrDur.Seconds())
-		sp.End()
+		if sp != nil {
+			// Guarded: Set boxes its value operand, which would be the one
+			// allocation left in the silent steady-state sweep.
+			sp.Set("sweep", sweep).Set("residual", change).Set("qr_seconds", qrDur.Seconds())
+			sp.End()
+		}
 		if log.Enabled(obs.LevelDebug) {
 			// The Frobenius norm of the out-of-span residual bounds the sine
 			// of the largest principal angle the subspace moved this sweep.
@@ -310,8 +315,8 @@ func KSIRun(op Operator, cfg KSIConfig) KSIResult {
 	// Rayleigh–Ritz: diagonalize the projected operator B = Zᵀ(H·Z) and
 	// rotate Z onto the Ritz vectors. SymEig returns descending order.
 	rr := run.Span("ksi.rayleigh_ritz")
-	hz := op.Apply(z)
-	b := dense.TMul(z, hz)
+	hz := sw.apply()
+	b := dense.TMulOpts(sw.z, hz, cfg.Dense)
 	vals, c := dense.SymEig(b)
 	rr.End()
 	for i := range vals {
@@ -319,7 +324,7 @@ func KSIRun(op Operator, cfg KSIConfig) KSIResult {
 			vals[i] = 0 // H is PSD; clamp round-off
 		}
 	}
-	res.Vectors = dense.Mul(z, c)
+	res.Vectors = dense.MulOpts(sw.z, c, cfg.Dense)
 	res.Values = vals
 	return res
 }
@@ -367,6 +372,9 @@ type SVDConfig struct {
 	// SpMM carries scheduling hints for the sparse products (strategy,
 	// parallelism gate); Threads above overrides SpMM.Threads.
 	SpMM sparse.Tuning
+	// Dense carries scheduling hints for the dense engine behind the
+	// blockwise and global QR factorizations and the projection products.
+	Dense dense.Tuning
 	// Deadline is a cooperative cutoff checked before every Krylov block;
 	// zero never fires. On expiry the basis built so far (if any) is still
 	// projected and returned, with DeadlineHit set.
@@ -432,7 +440,7 @@ func RandomizedSVDRun(w *sparse.CSR, cfg SVDConfig) RSVDResult {
 	reg := run.Registry()
 	blocksTotal := reg.Counter("linalg_rsvd_blocks_total", "Krylov blocks built (seed block included)")
 	blockSeconds := reg.Histogram("linalg_rsvd_block_seconds", "wall-clock per Krylov block (seed block included)", nil)
-	orthoSeconds := reg.Histogram("linalg_orthonormalize_seconds", "wall-clock per QR orthonormalization", nil)
+	orthoSeconds := reg.Histogram("linalg_orthonormalize_seconds", "wall-clock per QR orthonormalization", obs.FastBuckets)
 
 	res := RSVDResult{Iterations: q}
 	if budget.Exceeded(cfg.Deadline) {
@@ -444,9 +452,14 @@ func RandomizedSVDRun(w *sparse.CSR, cfg SVDConfig) RSVDResult {
 	}
 	rng := NewRand(seed)
 	g := dense.Random(w.Cols, b, rng)
+	// One QR workspace serves every blockwise orthonormalization and the
+	// global QR: across q+2 factorizations only the largest shape
+	// allocates. The returned Q is a view, so each block is consumed
+	// (copied into kry) before the workspace is reused.
+	var qrws dense.QRWork
 	sp := run.Span("rsvd.block")
 	blockStart := time.Now()
-	block := dense.Orthonormalize(w.MulDenseOpts(g, tn))
+	block := qrws.Orthonormalize(w.MulDenseOpts(g, tn), cfg.Dense)
 	sp.Set("block", 0).Set("of", q)
 	sp.End()
 	blocksTotal.Inc()
@@ -468,7 +481,7 @@ func RandomizedSVDRun(w *sparse.CSR, cfg SVDConfig) RSVDResult {
 		}
 		blockStart = time.Now()
 		sp = run.Span("rsvd.block")
-		block = dense.Orthonormalize(applyGram(w, block, tn))
+		block = qrws.Orthonormalize(applyGram(w, block, tn), cfg.Dense)
 		copyBlock(kry, block, i*b)
 		elapsed := time.Since(blockStart)
 		sp.Set("block", i).Set("of", q)
@@ -480,17 +493,17 @@ func RandomizedSVDRun(w *sparse.CSR, cfg SVDConfig) RSVDResult {
 	}
 	qrStart := time.Now()
 	sp = run.Span("rsvd.global_qr")
-	kq := dense.Orthonormalize(kry)
+	kq := qrws.Orthonormalize(kry, cfg.Dense)
 	sp.End()
 	orthoSeconds.ObserveSince(qrStart)
 	// Project: M = Kᵀ (WWᵀ) K = (WᵀK)ᵀ (WᵀK).
 	sp = run.Span("rsvd.project")
 	wtk := w.TMulDenseOpts(kq, tn)
-	m := dense.TMul(wtk, wtk)
+	m := dense.TMulOpts(wtk, wtk, cfg.Dense)
 	sp.End()
 	sp = run.Span("rsvd.eig")
 	vals, vecs := dense.SymEig(m)
-	u := dense.Mul(kq, vecs.SliceCols(0, k))
+	u := dense.MulOpts(kq, vecs.SliceCols(0, k), cfg.Dense)
 	sp.End()
 	sigma := make([]float64, k)
 	for i := 0; i < k; i++ {

@@ -1,0 +1,74 @@
+package linalg
+
+import (
+	"time"
+
+	"gebe/internal/dense"
+)
+
+// InPlaceOperator is an Operator that can write its product into a
+// caller-owned block. KSI applies the operator once per sweep to a block
+// of fixed shape, so an operator that implements this lets the
+// steady-state sweep loop run without allocating (see ksiSweep).
+type InPlaceOperator interface {
+	Operator
+	// ApplyInto writes the operator applied to x into dst (Dim()×x.Cols,
+	// must not alias x) and returns dst.
+	ApplyInto(dst, x *dense.Matrix) *dense.Matrix
+}
+
+// ksiSweep is KSIRun's per-run workspace: every buffer the steady-state
+// sweep loop touches, allocated once up front. After the first sweep a
+// sweep allocates nothing when the operator supports ApplyInto and the
+// flop gate keeps the dense products sequential (pinned by
+// TestKSISweepSteadyStateAllocs).
+type ksiSweep struct {
+	op   Operator
+	into InPlaceOperator // non-nil when op supports ApplyInto
+	dn   dense.Tuning
+	z    *dense.Matrix // current orthonormal basis (owned)
+	hz   *dense.Matrix // ApplyInto destination (nil when into == nil)
+	qrws dense.QRWork
+	p    *dense.Matrix // k×k   zᵀ·zNew
+	proj *dense.Matrix // n×k   z·p
+	diff *dense.Matrix // n×k   zNew − proj
+}
+
+// newKSISweep takes ownership of the starting basis z.
+func newKSISweep(op Operator, z *dense.Matrix, dn dense.Tuning) *ksiSweep {
+	n, k := z.Rows, z.Cols
+	s := &ksiSweep{op: op, dn: dn, z: z,
+		p: dense.New(k, k), proj: dense.New(n, k), diff: dense.New(n, k)}
+	if ip, ok := op.(InPlaceOperator); ok {
+		s.into = ip
+		s.hz = dense.New(n, k)
+	}
+	return s
+}
+
+// apply returns op·z, reusing the hz buffer when the operator allows it.
+// The result is only valid until the next apply call.
+func (s *ksiSweep) apply() *dense.Matrix {
+	if s.into != nil {
+		return s.into.ApplyInto(s.hz, s.z)
+	}
+	return s.op.Apply(s.z)
+}
+
+// finish completes one KSI sweep from the operator product hz (as
+// returned by apply): Z ← orth(hz), leaving the new basis in s.z. It
+// returns the raw Frobenius norm of the part of the new basis outside
+// the old span, and the QR wall time. Split from apply so KSIRun can
+// read Ritz values off the pre-sweep basis in between.
+func (s *ksiSweep) finish(hz *dense.Matrix) (frob float64, qrDur time.Duration) {
+	qrStart := time.Now()
+	zNew := s.qrws.Orthonormalize(hz, s.dn)
+	qrDur = time.Since(qrStart)
+	// Subspace change: the part of the new basis outside span(z).
+	dense.TMulInto(s.p, s.z, zNew, s.dn)  // k×k
+	dense.MulInto(s.proj, s.z, s.p, s.dn) // n×k
+	dense.SubInto(s.diff, zNew, s.proj)   // residual outside the old span
+	frob = s.diff.FrobeniusNorm()
+	copy(s.z.Data, zNew.Data)
+	return frob, qrDur
+}

@@ -93,6 +93,14 @@ var DefBuckets = []float64{
 	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120,
 }
 
+// FastBuckets is a layout for sub-millisecond spans — dense GEMM/QR
+// calls at solver block shapes — spanning 1µs to 0.5s. DefBuckets starts
+// at 100µs and would lump most such observations into its first bucket.
+var FastBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5,
+}
+
 // Observe records one sample.
 func (h *Histogram) Observe(v float64) {
 	if h == nil {

@@ -1,0 +1,73 @@
+// Package par owns the process-wide pool of worker goroutines every
+// parallel kernel in the repository runs on — the sparse SpMM engine and
+// the dense GEMM/QR engine alike. Centralizing the pool means the
+// process schedules one set of GOMAXPROCS workers total, instead of one
+// pool per package competing for the same cores.
+//
+// GEBE's solvers issue thousands of block products per run (t sweeps × τ
+// hops for KSI alone), so a per-call fork/join — goroutine allocation,
+// scheduling, stack growth — is pure overhead on the hot path. The pool
+// is started lazily on first use and lives for the process: workers
+// block on the task channel when idle, which costs nothing.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+var (
+	poolOnce  sync.Once
+	poolTasks chan func()
+)
+
+func poolStart() {
+	n := runtime.GOMAXPROCS(0)
+	// Unbuffered by design: a send succeeds only as a direct handoff to
+	// a worker already parked on receive. Work is therefore never queued
+	// behind busy workers — every submitted part is immediately owned by
+	// an idle worker, and anything else runs inline on the submitter.
+	// Queuing (any buffer > 0) reintroduces a deadlock: a pool worker
+	// whose task fans out again can enqueue a sub-part and then park in
+	// Wait, with no worker left to drain the queue.
+	poolTasks = make(chan func())
+	for i := 0; i < n; i++ {
+		go func() {
+			for f := range poolTasks {
+				f()
+			}
+		}()
+	}
+}
+
+// Parts runs f(0), …, f(parts-1) and returns when all parts have
+// finished. Part 0 always runs on the calling goroutine; the rest are
+// handed off to currently idle pool workers, falling back to inline
+// execution when no worker is free. Submission never blocks or queues,
+// so a task that itself calls Parts cannot deadlock the pool — every
+// outstanding part is either running on some worker or runs inline, and
+// a part never waits on its own ancestors.
+func Parts(parts int, f func(part int)) {
+	if parts <= 1 {
+		f(0)
+		return
+	}
+	poolOnce.Do(poolStart)
+	var wg sync.WaitGroup
+	wg.Add(parts - 1)
+	for w := 1; w < parts; w++ {
+		task := func(w int) func() {
+			return func() {
+				defer wg.Done()
+				f(w)
+			}
+		}(w)
+		select {
+		case poolTasks <- task:
+		default:
+			task()
+		}
+	}
+	f(0)
+	wg.Wait()
+}

@@ -1,0 +1,67 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPartsRunsEveryPart(t *testing.T) {
+	for _, parts := range []int{1, 2, 3, 7, 64} {
+		seen := make([]atomic.Bool, parts)
+		Parts(parts, func(p int) {
+			if seen[p].Swap(true) {
+				t.Errorf("parts=%d: part %d ran twice", parts, p)
+			}
+		})
+		for p := range seen {
+			if !seen[p].Load() {
+				t.Errorf("parts=%d: part %d never ran", parts, p)
+			}
+		}
+	}
+}
+
+func TestPartsZeroAndNegative(t *testing.T) {
+	var calls atomic.Int64
+	Parts(0, func(p int) { calls.Add(1) })
+	Parts(-3, func(p int) { calls.Add(1) })
+	if calls.Load() != 2 {
+		t.Fatalf("degenerate part counts should run f(0) once each, got %d calls", calls.Load())
+	}
+}
+
+// TestPartsNested pins the no-deadlock property: a part that itself
+// fans out must complete even when every pool worker is busy, because
+// overflow submissions run inline on the submitter.
+func TestPartsNested(t *testing.T) {
+	var total atomic.Int64
+	Parts(8, func(outer int) {
+		Parts(8, func(inner int) {
+			total.Add(1)
+		})
+	})
+	if total.Load() != 64 {
+		t.Fatalf("nested Parts ran %d inner parts, want 64", total.Load())
+	}
+}
+
+// TestPartsConcurrent hammers the shared pool from many goroutines; run
+// with -race it doubles as the data-race check for the submission path.
+func TestPartsConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	var total atomic.Int64
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				Parts(4, func(p int) { total.Add(1) })
+			}
+		}()
+	}
+	wg.Wait()
+	if want := int64(16 * 50 * 4); total.Load() != want {
+		t.Fatalf("concurrent Parts ran %d parts, want %d", total.Load(), want)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"gebe/internal/dense"
+	"gebe/internal/par"
 )
 
 // Strategy selects how the engine executes W and Wᵀ products.
@@ -159,7 +160,7 @@ func (m *CSR) mulRowParallel(b *dense.Matrix, t Tuning) (*dense.Matrix, string) 
 		return out, kname
 	}
 	bounds := nnzPartition(m.RowPtr, nw)
-	parallelParts(nw, func(w int) {
+	par.Parts(nw, func(w int) {
 		kern(m, b.Data, out.Data, k, bounds[w], bounds[w+1])
 	})
 	return out, kname
@@ -204,7 +205,7 @@ func (m *CSR) scatterTMulDense(b *dense.Matrix, t Tuning) *dense.Matrix {
 	}
 	bounds := nnzPartition(m.RowPtr, nw)
 	partials := make([]*dense.Matrix, nw)
-	parallelParts(nw, func(w int) {
+	par.Parts(nw, func(w int) {
 		partials[w] = dense.New(m.Cols, k)
 		m.tMulRange(b.Data, partials[w].Data, k, bounds[w], bounds[w+1])
 	})
@@ -235,7 +236,7 @@ func (m *CSR) MulVecOpts(x []float64, t Tuning) []float64 {
 		mulVecRange(m, x, out, 0, m.Rows)
 	} else {
 		bounds := nnzPartition(m.RowPtr, nw)
-		parallelParts(nw, func(w int) {
+		par.Parts(nw, func(w int) {
 			mulVecRange(m, x, out, bounds[w], bounds[w+1])
 		})
 	}
@@ -268,7 +269,7 @@ func (m *CSR) TMulVecOpts(x []float64, t Tuning) []float64 {
 			mulVecRange(wt, x, out, 0, wt.Rows)
 		} else {
 			bounds := nnzPartition(wt.RowPtr, nw)
-			parallelParts(nw, func(w int) {
+			par.Parts(nw, func(w int) {
 				mulVecRange(wt, x, out, bounds[w], bounds[w+1])
 			})
 		}
@@ -286,7 +287,7 @@ func (m *CSR) scatterTMulVec(x []float64, t Tuning) []float64 {
 	}
 	bounds := nnzPartition(m.RowPtr, nw)
 	partials := make([][]float64, nw)
-	parallelParts(nw, func(w int) {
+	par.Parts(nw, func(w int) {
 		partials[w] = make([]float64, m.Cols)
 		m.tMulVecRange(x, partials[w], bounds[w], bounds[w+1])
 	})
