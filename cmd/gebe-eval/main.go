@@ -50,6 +50,9 @@ func main() {
 		fail(err)
 	}
 	defer stop()
+	if cli.Active() {
+		eval.EnableMetrics(obs.DefaultRegistry())
+	}
 	train, err := gebe.LoadGraph(*trainP)
 	if err != nil {
 		fail(err)

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -105,7 +106,7 @@ func parseMeta(e *core.Embedding, fields []string, line int) error {
 	switch key {
 	case "sigma_scale":
 		x, err := strconv.ParseFloat(vals[0], 64)
-		if err != nil {
+		if err != nil || !isFinite(x) {
 			return bad(vals[0])
 		}
 		e.SigmaScale = x
@@ -133,7 +134,7 @@ func parseMeta(e *core.Embedding, fields []string, line int) error {
 		e.Values = make([]float64, len(vals))
 		for i, v := range vals {
 			x, err := strconv.ParseFloat(v, 64)
-			if err != nil {
+			if err != nil || !isFinite(x) {
 				return bad(v)
 			}
 			e.Values[i] = x
@@ -155,7 +156,12 @@ func SaveEmbedding(path string, e *Embedding) error {
 	return f.Close()
 }
 
-// ReadEmbedding parses the format written by WriteEmbedding.
+// ReadEmbedding parses the format written by WriteEmbedding. The parser
+// is strict — this is the load path of the serving layer, where a
+// malformed file must fail at startup, not at query time:
+// non-finite vector entries, duplicate (side, index) rows, and
+// truncated streams (fewer rows than the header promises) are all
+// errors, as are header dimensions too large to allocate.
 func ReadEmbedding(r io.Reader) (*Embedding, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
@@ -172,11 +178,17 @@ func ReadEmbedding(r io.Reader) (*Embedding, error) {
 	if err1 != nil || err2 != nil || err3 != nil || nu < 0 || nv < 0 || k <= 0 {
 		return nil, fmt.Errorf("gebe: bad embedding dimensions in header %q", sc.Text())
 	}
+	// An adversarial header must not overflow rows×cols into a negative
+	// (or tiny) allocation; reject what cannot be indexed.
+	if nu > math.MaxInt/k || nv > math.MaxInt/k {
+		return nil, fmt.Errorf("gebe: embedding dimensions %dx%d, %dx%d overflow", nu, k, nv, k)
+	}
 	e := &core.Embedding{
 		U:      dense.New(nu, k),
 		V:      dense.New(nv, k),
 		Method: header[1],
 	}
+	seen := map[string]*rowSet{"u": newRowSet(nu), "v": newRowSet(nv)}
 	line := 1
 	for sc.Scan() {
 		line++
@@ -212,11 +224,17 @@ func ReadEmbedding(r io.Reader) (*Embedding, error) {
 		if idx < 0 || idx >= m.Rows {
 			return nil, fmt.Errorf("gebe: line %d: index %d outside %d rows", line, idx, m.Rows)
 		}
+		if !seen[fields[0]].mark(idx) {
+			return nil, fmt.Errorf("gebe: line %d: duplicate %s row %d", line, fields[0], idx)
+		}
 		row := m.Row(idx)
 		for j := 0; j < k; j++ {
 			x, err := strconv.ParseFloat(fields[j+2], 64)
 			if err != nil {
 				return nil, fmt.Errorf("gebe: line %d: bad value %q", line, fields[j+2])
+			}
+			if !isFinite(x) {
+				return nil, fmt.Errorf("gebe: line %d: non-finite value %q", line, fields[j+2])
 			}
 			row[j] = x
 		}
@@ -224,7 +242,39 @@ func ReadEmbedding(r io.Reader) (*Embedding, error) {
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("gebe: reading embedding: %w", err)
 	}
+	if got := seen["u"].count; got != nu {
+		return nil, fmt.Errorf("gebe: truncated embedding: %d of %d u rows", got, nu)
+	}
+	if got := seen["v"].count; got != nv {
+		return nil, fmt.Errorf("gebe: truncated embedding: %d of %d v rows", got, nv)
+	}
 	return e, nil
+}
+
+func isFinite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
+}
+
+// rowSet tracks which row indices have been filled — one bit per row,
+// so duplicate and truncation detection cost |rows|/8 bytes.
+type rowSet struct {
+	bits  []uint64
+	count int
+}
+
+func newRowSet(n int) *rowSet {
+	return &rowSet{bits: make([]uint64, (n+63)/64)}
+}
+
+// mark records idx and reports whether it was fresh.
+func (s *rowSet) mark(idx int) bool {
+	w, b := idx/64, uint64(1)<<(idx%64)
+	if s.bits[w]&b != 0 {
+		return false
+	}
+	s.bits[w] |= b
+	s.count++
+	return true
 }
 
 // LoadEmbedding reads an embedding from a file.

@@ -1,0 +1,106 @@
+package gebe
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestReadEmbeddingHardening exercises the strict-parse paths the
+// serving layer depends on: a malformed file must fail at load, never
+// produce an embedding that scores wrong (NaN/Inf), silently drops
+// rows (truncation), or lets a later duplicate overwrite an earlier
+// row. Each case names the defect and the fragment of the error that
+// must identify it.
+func TestReadEmbeddingHardening(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{
+			name:    "NaN value",
+			in:      "#gebe m 1 1 2\nu 0 NaN 1\nv 0 1 2\n",
+			wantErr: "non-finite",
+		},
+		{
+			name:    "positive Inf value",
+			in:      "#gebe m 1 1 2\nu 0 +Inf 1\nv 0 1 2\n",
+			wantErr: "non-finite",
+		},
+		{
+			name:    "negative Inf value",
+			in:      "#gebe m 1 1 2\nu 0 1 2\nv 0 -Inf 2\n",
+			wantErr: "non-finite",
+		},
+		{
+			name:    "duplicate u row",
+			in:      "#gebe m 2 1 2\nu 0 1 2\nu 0 3 4\nu 1 5 6\nv 0 7 8\n",
+			wantErr: "duplicate u row 0",
+		},
+		{
+			name:    "duplicate v row",
+			in:      "#gebe m 1 2 2\nu 0 1 2\nv 1 3 4\nv 1 5 6\nv 0 7 8\n",
+			wantErr: "duplicate v row 1",
+		},
+		{
+			name:    "truncated u side",
+			in:      "#gebe m 3 1 2\nu 0 1 2\nu 1 3 4\nv 0 5 6\n",
+			wantErr: "truncated embedding: 2 of 3 u rows",
+		},
+		{
+			name:    "truncated v side (stream cut mid-file)",
+			in:      "#gebe m 1 4 2\nu 0 1 2\nv 0 1 2\nv 1 3 4\n",
+			wantErr: "truncated embedding: 2 of 4 v rows",
+		},
+		{
+			name:    "rows only from header",
+			in:      "#gebe m 1 1 2\n",
+			wantErr: "truncated",
+		},
+		{
+			name:    "short row",
+			in:      "#gebe m 1 1 2\nu 0 1\nv 0 1 2\n",
+			wantErr: "want 4 fields",
+		},
+		{
+			name:    "overlong row",
+			in:      "#gebe m 1 1 2\nu 0 1 2 3\nv 0 1 2\n",
+			wantErr: "want 4 fields",
+		},
+		{
+			name:    "header dimension overflow",
+			in:      "#gebe m 4611686018427387904 1 4\n",
+			wantErr: "overflow",
+		},
+		{
+			name:    "non-finite sigma_scale meta",
+			in:      "#gebe m 1 1 2\n#meta sigma_scale NaN\nu 0 1 2\nv 0 1 2\n",
+			wantErr: "bad #meta sigma_scale",
+		},
+		{
+			name:    "non-finite values meta",
+			in:      "#gebe m 1 1 2\n#meta values 1 +Inf\nu 0 1 2\nv 0 1 2\n",
+			wantErr: "bad #meta values",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadEmbedding(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("input accepted:\n%s", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+
+	// Rows may arrive in any order and interleaved across sides; a
+	// complete, finite file must still load.
+	ok := "#gebe m 2 2 2\nv 1 1 2\nu 1 3 4\nv 0 5 6\nu 0 7 8\n"
+	e, err := ReadEmbedding(strings.NewReader(ok))
+	if err != nil {
+		t.Fatalf("interleaved complete embedding rejected: %v", err)
+	}
+	if e.U.At(1, 0) != 3 || e.V.At(0, 1) != 6 {
+		t.Errorf("rows landed wrong: U=%v V=%v", e.U, e.V)
+	}
+}

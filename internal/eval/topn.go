@@ -39,11 +39,6 @@ type TopNConfig struct {
 	Deadline time.Time
 }
 
-// topNTile is how many users each worker scores per GEMM: one
-// U_tile·Vᵀ product streams V once for the whole tile instead of once
-// per user, which is where scoring time goes when NV is large.
-const topNTile = 16
-
 // TopN runs the paper's top-N recommendation protocol: for every user
 // with held-out edges, rank all items by U[u]·V[v] excluding training
 // edges, compare the top n against the user's ground-truth list (their
@@ -103,38 +98,29 @@ func TopNRun(train *bigraph.Graph, test []bigraph.Edge, u, v *dense.Matrix, cfg 
 		wg.Add(1)
 		go func(users []int) {
 			defer wg.Done()
-			// Per-worker tile buffers, reused across batches: the user rows
-			// gathered into a contiguous block, and the score tile the
-			// batched GEMM fills. Tuning{} keeps the product sequential —
-			// the workers are the parallelism here.
-			ubatch := dense.New(topNTile, u.Cols)
-			scores := dense.New(topNTile, train.NV)
+			// Per-worker scorer: its tile buffers are reused across batches,
+			// and its sequential GEMM keeps the workers as the only
+			// parallelism here.
+			sc := NewScorer(u, v)
 			var f1, ndcg, mrr float64
-			for lo := 0; lo < len(users); lo += topNTile {
+			err := sc.Score(users, func() error {
 				if expired.Load() {
-					return
+					return budget.ErrExceeded
 				}
 				if budget.Exceeded(cfg.Deadline) {
 					expired.Store(true)
-					return
+					return budget.ErrExceeded
 				}
-				batch := users[lo:min(lo+topNTile, len(users))]
-				ub, st := ubatch, scores
-				if len(batch) < topNTile {
-					ub = &dense.Matrix{Rows: len(batch), Cols: u.Cols, Data: ubatch.Data[:len(batch)*u.Cols]}
-					st = &dense.Matrix{Rows: len(batch), Cols: train.NV, Data: scores.Data[:len(batch)*train.NV]}
-				}
-				for bi, uu := range batch {
-					copy(ub.Row(bi), u.Row(uu))
-				}
-				dense.MulTInto(st, ub, v, dense.Tuning{})
-				for bi, uu := range batch {
-					rec := TopNIndices(st.Row(bi), n, trainItems[uu])
-					truth := groundTruth(heldOut[uu], n)
-					f1 += F1At(rec, truth, n)
-					ndcg += NDCGAt(rec, truth, n)
-					mrr += MRRAt(rec, truth, n)
-				}
+				return nil
+			}, func(uu int, scores []float64) {
+				rec := TopNIndices(scores, n, trainItems[uu])
+				truth := groundTruth(heldOut[uu], n)
+				f1 += F1At(rec, truth, n)
+				ndcg += NDCGAt(rec, truth, n)
+				mrr += MRRAt(rec, truth, n)
+			})
+			if err != nil {
+				return
 			}
 			mu.Lock()
 			res.F1 += f1

@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"gebe/internal/budget"
+	"gebe/internal/obs"
+)
+
+// The request lifecycle layer wraps the routing mux. Ordering matters:
+//
+//	recover → in-flight gauge → load shedding → deadline stamp → mux
+//
+// Recovery sits outermost so a panic anywhere below (shedding and
+// instrumentation included) still yields a well-formed 500 and a
+// released semaphore slot. Shedding sits above deadline stamping so a
+// shed request costs two channel operations and no clock reads.
+
+// deadlineKey carries the request's absolute compute deadline through
+// the context; handlers thread it into budget.Exceeded checks at tile
+// granularity, the same cooperative-cancellation idiom every solver
+// uses.
+type deadlineKey struct{}
+
+// requestDeadline returns the absolute deadline stamped on the request,
+// or the zero time when the server runs without a budget.
+func requestDeadline(r *http.Request) time.Time {
+	if t, ok := r.Context().Value(deadlineKey{}).(time.Time); ok {
+		return t
+	}
+	return time.Time{}
+}
+
+// checkpoint returns the cooperative cancellation hook scoring loops
+// call between GEMM tiles: nil when the request carries no budget, so
+// the scorer skips the clock entirely.
+func (s *Server) checkpoint(r *http.Request) func() error {
+	dl := requestDeadline(r)
+	if dl.IsZero() {
+		return nil
+	}
+	return func() error { return budget.Check(dl) }
+}
+
+// lifecycle wraps the routed mux in the outer layers.
+func (s *Server) lifecycle(next http.Handler) http.Handler {
+	return s.recovered(s.counted(s.limited(s.stamped(next))))
+}
+
+// recovered converts handler panics into JSON 500s. A panicking scoring
+// request must not take the process (and its embedding) down with it.
+func (s *Server) recovered(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.m.panics.Inc()
+				s.cfg.Log.Error("serve: handler panic", "path", r.URL.Path, "panic", fmt.Sprint(v))
+				// Headers may already be gone; WriteHeader on a started
+				// response is a no-op warning, which is the best available.
+				s.fail(w, http.StatusInternalServerError, fmt.Errorf("internal error"))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// counted maintains the in-flight gauge across every request, shed or
+// served.
+func (s *Server) counted(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.m.inflight.Add(1)
+		defer s.m.inflight.Add(-1)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// limited sheds load once MaxInflight requests are being served:
+// a non-blocking semaphore acquire, and on failure an immediate 429
+// with Retry-After — bounded latency for the shed request and bounded
+// concurrency for everyone else, instead of an unbounded accept queue
+// all timing out together. Liveness probes (/v1/healthz) bypass the
+// limiter: an overloaded server is still alive.
+func (s *Server) limited(next http.Handler) http.Handler {
+	if s.limiter == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/healthz" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		select {
+		case s.limiter <- struct{}{}:
+			defer func() { <-s.limiter }()
+			next.ServeHTTP(w, r)
+		default:
+			s.m.shed.Inc()
+			s.m.status.With("shed_429").Inc()
+			w.Header().Set("Retry-After", "1")
+			s.fail(w, http.StatusTooManyRequests,
+				fmt.Errorf("server at capacity (%d in flight)", s.cfg.MaxInflight))
+		}
+	})
+}
+
+// stamped derives the request's absolute compute deadline from the
+// configured per-request budget and attaches it to the context, both as
+// a value (for the scorer checkpoints) and as a context deadline (so
+// downstream code holding the context observes cancellation too).
+func (s *Server) stamped(next http.Handler) http.Handler {
+	if s.cfg.Deadline <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		dl := time.Now().Add(s.cfg.Deadline)
+		ctx, cancel := context.WithDeadline(context.WithValue(r.Context(), deadlineKey{}, dl), dl)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// statusRecorder captures the response code for instrumentation.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusRecorder) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps one endpoint with its latency histogram, the
+// per-endpoint status-code counters, and debug logging.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.Handler {
+	hist := s.m.seconds[name]
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		h(rec, r)
+		if rec.code == 0 {
+			rec.code = http.StatusOK
+		}
+		hist.ObserveSince(t0)
+		s.m.status.With(fmt.Sprintf("%s_%d", name, rec.code)).Inc()
+		s.cfg.Log.Debug("serve: request",
+			"endpoint", name, "status", rec.code, "elapsed", time.Since(t0))
+	})
+}
+
+// Run serves h on ln until stop delivers a signal, then drains
+// gracefully: the listener closes immediately (new connections are
+// refused), in-flight requests get up to drainTimeout to finish, and
+// only then are stragglers cut. Returns nil on a clean drain or
+// server-closed exit.
+func Run(ln net.Listener, h http.Handler, stop <-chan os.Signal, drainTimeout time.Duration, log *obs.Logger) error {
+	srv := &http.Server{Handler: h}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return fmt.Errorf("serve: %w", err)
+	case sig := <-stop:
+		log.Info("serve: draining", "signal", fmt.Sprint(sig), "timeout", drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			_ = srv.Close()
+			<-errc
+			return fmt.Errorf("serve: drain: %w", err)
+		}
+		<-errc // Serve has returned ErrServerClosed by now
+		log.Info("serve: drained")
+		return nil
+	}
+}

@@ -1,0 +1,245 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// blockingHandler answers 200 after release closes, reporting each
+// arrival on entered. healthz requests answer immediately so the
+// bypass path stays testable while the rest of the server is wedged.
+func blockingHandler(entered chan<- struct{}, release <-chan struct{}) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/healthz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		entered <- struct{}{}
+		<-release
+		w.WriteHeader(http.StatusOK)
+	})
+}
+
+func TestShed429(t *testing.T) {
+	s, reg := newTestServer(t, Config{MaxInflight: 1})
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	ts := httptest.NewServer(s.lifecycle(blockingHandler(entered, release)))
+	defer ts.Close()
+
+	// Saturate the single slot.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get(ts.URL + "/v1/recommend")
+		if err != nil {
+			t.Errorf("in-flight request: %v", err)
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("in-flight request finished %d after release", resp.StatusCode)
+		}
+	}()
+	<-entered
+
+	// The next request must shed immediately, not queue.
+	resp, err := http.Get(ts.URL + "/v1/recommend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated request: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	var e errorResponse
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Errorf("429 body %q not a JSON error", body)
+	}
+	if got := reg.Counter("serve_shed_total", "").Value(); got != 1 {
+		t.Errorf("shed counter = %v, want 1", got)
+	}
+
+	// Liveness probes bypass the limiter even at capacity.
+	hz, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Errorf("healthz at capacity: status %d, want 200", hz.StatusCode)
+	}
+
+	close(release)
+	wg.Wait()
+	// The slot frees after drain: a fresh request is served again.
+	resp2, err := http.Get(ts.URL + "/v1/recommend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("post-release request: status %d, want 200", resp2.StatusCode)
+	}
+}
+
+func TestPanicRecovery(t *testing.T) {
+	s, reg := newTestServer(t, Config{MaxInflight: 1})
+	boom := http.HandlerFunc(func(http.ResponseWriter, *http.Request) { panic("scoring exploded") })
+	h := s.lifecycle(boom)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/v1/similar?id=1", nil))
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", w.Code)
+	}
+	if got := reg.Counter("serve_panics_total", "").Value(); got != 1 {
+		t.Errorf("panic counter = %v, want 1", got)
+	}
+	if got := reg.Gauge("serve_inflight", "").Value(); got != 0 {
+		t.Errorf("inflight gauge = %v after panic, want 0", got)
+	}
+	// The semaphore slot must have been released: the next request runs.
+	ok := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) { w.WriteHeader(200) })
+	w2 := httptest.NewRecorder()
+	s.lifecycle(ok).ServeHTTP(w2, httptest.NewRequest("GET", "/v1/info", nil))
+	if w2.Code != http.StatusOK {
+		t.Errorf("request after panic: status %d, want 200", w2.Code)
+	}
+}
+
+func TestGracefulDrain(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	stop := make(chan os.Signal, 1)
+	runDone := make(chan error, 1)
+	go func() { runDone <- Run(ln, blockingHandler(entered, release), stop, 5*time.Second, nil) }()
+
+	reqDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/v1/recommend")
+		if err != nil {
+			reqDone <- -1
+			return
+		}
+		resp.Body.Close()
+		reqDone <- resp.StatusCode
+	}()
+	<-entered
+
+	// SIGTERM with a request in flight: Run must keep draining, not exit.
+	stop <- syscall.SIGTERM
+	select {
+	case err := <-runDone:
+		t.Fatalf("Run returned %v with a request in flight", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	// Releasing the handler lets the request finish 200 and Run exit nil.
+	close(release)
+	if code := <-reqDone; code != http.StatusOK {
+		t.Errorf("drained request: status %d, want 200", code)
+	}
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Errorf("Run: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after drain")
+	}
+}
+
+// TestConcurrentLoad hammers the full handler stack from many
+// goroutines with the race detector in mind: every lifecycle layer,
+// the scorer pools, the LRU and the metrics registry run concurrently,
+// and every response must be a well-formed 200 or a shed 429.
+func TestConcurrentLoad(t *testing.T) {
+	s, reg := newTestServer(t, Config{MaxInflight: 4, CacheSize: 16})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	const workers = 8
+	const iters = 25
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	statuses := make(map[int]int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				var resp *http.Response
+				var err error
+				switch i % 4 {
+				case 0:
+					body := fmt.Sprintf(`{"users":[%d,%d],"n":5}`, (w+i)%20, i%20)
+					resp, err = client.Post(ts.URL+"/v1/recommend", "application/json", strings.NewReader(body))
+				case 1:
+					resp, err = client.Get(fmt.Sprintf("%s/v1/similar?side=v&id=%d&n=3", ts.URL, i%35))
+				case 2:
+					body := fmt.Sprintf(`{"pairs":[[%d,%d]]}`, w%20, i%35)
+					resp, err = client.Post(ts.URL+"/v1/score", "application/json", strings.NewReader(body))
+				case 3:
+					resp, err = client.Get(ts.URL + "/v1/healthz")
+				}
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests {
+					t.Errorf("worker %d: status %d: %s", w, resp.StatusCode, body)
+					return
+				}
+				if !json.Valid(body) {
+					t.Errorf("worker %d: invalid JSON body %q", w, body)
+					return
+				}
+				mu.Lock()
+				statuses[resp.StatusCode]++
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if statuses[http.StatusOK] == 0 {
+		t.Fatal("no request succeeded under load")
+	}
+	if got := reg.Gauge("serve_inflight", "").Value(); got != 0 {
+		t.Errorf("inflight gauge = %v after load, want 0", got)
+	}
+	// Accounting must balance: every answered request shows up either in
+	// a per-endpoint status counter or in the shed counter.
+	total := 0.0
+	for _, ep := range endpoints {
+		for _, code := range []int{200, 400, 429, 503} {
+			total += reg.Counter(fmt.Sprintf("serve_status_%s_%d_total", ep, code), "").Value()
+		}
+	}
+	total += reg.Counter("serve_shed_total", "").Value()
+	if want := float64(statuses[200] + statuses[429]); total != want {
+		t.Errorf("status counters sum to %v, want %v (statuses %v)", total, want, statuses)
+	}
+}

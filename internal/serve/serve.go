@@ -1,0 +1,517 @@
+// Package serve is the embedding-serving subsystem behind cmd/gebe-serve:
+// online top-N recommendation, same-side similarity and pair scoring over
+// a trained embedding, exposed as JSON over stdlib net/http.
+//
+// The handlers ride on the same tiled GEMM scoring core as the offline
+// evaluation protocol (eval.Scorer), so a served recommendation list is
+// byte-for-byte the list the eval harness would rank. Around the
+// handlers sits a request lifecycle layer (lifecycle.go): panic
+// recovery, a semaphore concurrency limiter that sheds load with 429
+// instead of queueing unboundedly, cooperative per-request deadlines
+// surfaced as 503, per-endpoint latency histograms and status-code
+// counters through internal/obs, and graceful drain on shutdown. A
+// size-bounded LRU (cache.go) memoizes repeated recommend queries.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"gebe/internal/bigraph"
+	"gebe/internal/budget"
+	"gebe/internal/core"
+	"gebe/internal/dense"
+	"gebe/internal/eval"
+	"gebe/internal/obs"
+)
+
+// Config parameterizes a Server; the zero value serves with no
+// deadline, no concurrency cap, no cache, and the package defaults for
+// list lengths and batch sizes.
+type Config struct {
+	// Deadline is the per-request compute budget; 0 disables it. A
+	// request that exhausts the budget mid-scoring gets 503 with
+	// Retry-After rather than holding a scorer slot indefinitely.
+	Deadline time.Duration
+	// MaxInflight caps concurrently served requests; excess requests are
+	// shed with 429 + Retry-After. 0 means unlimited. /v1/healthz is
+	// exempt so liveness probes keep answering under overload.
+	MaxInflight int
+	// CacheSize bounds the recommend LRU in entries; 0 disables caching.
+	CacheSize int
+	// DefaultN is the list length used when a request omits n (default 10).
+	DefaultN int
+	// MaxN caps the requested list length (default 1000).
+	MaxN int
+	// MaxBatch caps users per recommend call and pairs per score call
+	// (default 1024).
+	MaxBatch int
+	// Metrics receives the serve instrumentation; nil selects the
+	// process-wide obs.DefaultRegistry.
+	Metrics *obs.Registry
+	// Log receives request-level debug logging; nil disables it.
+	Log *obs.Logger
+}
+
+// Server answers embedding queries. Build one with New and mount
+// Handler on an http.Server.
+type Server struct {
+	cfg   Config
+	emb   *core.Embedding
+	start time.Time
+
+	// trainItems[u] holds u's training items when a training graph was
+	// supplied — the exclusion set the paper's top-N protocol applies,
+	// optional per request via mask_train.
+	trainItems []map[int]bool
+	trainEdges int
+
+	// Precomputed row norms for /v1/similar's normalized dot products:
+	// cosine(i,j) = M[i]·M[j] / (norm[i]·norm[j]).
+	uNorms, vNorms []float64
+
+	// One scorer pool per GEMM orientation; scorers are not
+	// concurrency-safe, so each in-flight request checks one out.
+	recScorers, uSimScorers, vSimScorers sync.Pool
+
+	cache   *lruCache
+	limiter chan struct{} // nil = unlimited
+
+	m serveMetrics
+}
+
+type serveMetrics struct {
+	inflight  *obs.Gauge
+	shed      *obs.Counter
+	panics    *obs.Counter
+	deadlines *obs.Counter
+	cacheHit  *obs.Counter
+	cacheMiss *obs.Counter
+	status    *obs.CounterVec
+	seconds   map[string]*obs.Histogram
+}
+
+// endpoints names the instrumented routes; per-endpoint histograms are
+// created eagerly so the metrics surface is complete before traffic.
+var endpoints = []string{"recommend", "similar", "score", "healthz", "info"}
+
+// New builds a Server over a loaded embedding. train is optional: when
+// non-nil its edges become the per-user exclusion sets for recommend's
+// mask_train option (the offline protocol's "exclude training edges"),
+// and it must index-align with the embedding.
+func New(emb *core.Embedding, train *bigraph.Graph, cfg Config) (*Server, error) {
+	if emb == nil || emb.U == nil || emb.V == nil {
+		return nil, errors.New("serve: nil embedding")
+	}
+	if cfg.DefaultN <= 0 {
+		cfg.DefaultN = 10
+	}
+	if cfg.MaxN <= 0 {
+		cfg.MaxN = 1000
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 1024
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.DefaultRegistry()
+	}
+	s := &Server{cfg: cfg, emb: emb, start: time.Now(), cache: newLRU(cfg.CacheSize)}
+	if train != nil {
+		if train.NU > emb.U.Rows || train.NV > emb.V.Rows {
+			return nil, fmt.Errorf("serve: training graph is %dx%d but embedding covers %dx%d",
+				train.NU, train.NV, emb.U.Rows, emb.V.Rows)
+		}
+		s.trainItems = make([]map[int]bool, emb.U.Rows)
+		for _, e := range train.Edges {
+			if s.trainItems[e.U] == nil {
+				s.trainItems[e.U] = make(map[int]bool)
+			}
+			s.trainItems[e.U][e.V] = true
+		}
+		s.trainEdges = len(train.Edges)
+	}
+	s.uNorms = rowNorms(emb.U)
+	s.vNorms = rowNorms(emb.V)
+	s.recScorers.New = func() any { return eval.NewScorer(emb.U, emb.V) }
+	s.uSimScorers.New = func() any { return eval.NewScorer(emb.U, emb.U) }
+	s.vSimScorers.New = func() any { return eval.NewScorer(emb.V, emb.V) }
+	if cfg.MaxInflight > 0 {
+		s.limiter = make(chan struct{}, cfg.MaxInflight)
+	}
+	r := cfg.Metrics
+	s.m = serveMetrics{
+		inflight:  r.Gauge("serve_inflight", "requests currently being served"),
+		shed:      r.Counter("serve_shed_total", "requests shed with 429 at the concurrency limit"),
+		panics:    r.Counter("serve_panics_total", "handler panics recovered to 500"),
+		deadlines: r.Counter("serve_deadline_total", "requests that blew the per-request budget (503)"),
+		cacheHit:  r.Counter("serve_cache_hit_total", "recommend results answered from the LRU"),
+		cacheMiss: r.Counter("serve_cache_miss_total", "recommend results scored afresh"),
+		status:    r.CounterVec("serve_status", "responses per endpoint and status code"),
+		seconds:   make(map[string]*obs.Histogram, len(endpoints)),
+	}
+	for _, ep := range endpoints {
+		// FastBuckets: a request is a handful of sub-millisecond GEMM
+		// tiles; DefBuckets' 100µs floor would flatten the distribution.
+		s.m.seconds[ep] = r.Histogram("serve_"+ep+"_seconds",
+			"wall-clock of /v1/"+ep+" requests", obs.FastBuckets)
+	}
+	return s, nil
+}
+
+// rowNorms precomputes per-row Euclidean norms, the denominators of
+// /v1/similar's cosine scores.
+func rowNorms(m *dense.Matrix) []float64 {
+	norms := make([]float64, m.Rows)
+	for i := range norms {
+		norms[i] = math.Sqrt(dense.Dot(m.Row(i), m.Row(i)))
+	}
+	return norms
+}
+
+// scoredItem is one (id, score) pair in a ranked response list.
+type scoredItem struct {
+	Item  int     `json:"item"`
+	Score float64 `json:"score"`
+}
+
+// Handler returns the full serving surface: the five /v1 routes wrapped
+// in the lifecycle layer (recovery → in-flight accounting → load
+// shedding → deadline injection → per-endpoint instrumentation).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("POST /v1/recommend", s.instrument("recommend", s.handleRecommend))
+	mux.Handle("GET /v1/similar", s.instrument("similar", s.handleSimilar))
+	mux.Handle("POST /v1/score", s.instrument("score", s.handleScore))
+	mux.Handle("GET /v1/healthz", s.instrument("healthz", s.handleHealthz))
+	mux.Handle("GET /v1/info", s.instrument("info", s.handleInfo))
+	return s.lifecycle(mux)
+}
+
+// --- /v1/recommend -------------------------------------------------
+
+type recommendRequest struct {
+	// Users lists the users to recommend for; User is the single-user
+	// convenience form (exactly one of the two must be set).
+	Users []int `json:"users"`
+	User  *int  `json:"user"`
+	// N is the list length; 0 selects the server default.
+	N int `json:"n"`
+	// MaskTrain excludes the user's training items (requires the server
+	// to have been started with a training graph); defaults to true
+	// when a training graph is loaded.
+	MaskTrain *bool `json:"mask_train"`
+}
+
+type userRecommendation struct {
+	User   int          `json:"user"`
+	Items  []scoredItem `json:"items"`
+	Cached bool         `json:"cached,omitempty"`
+}
+
+type recommendResponse struct {
+	N       int                  `json:"n"`
+	Results []userRecommendation `json:"results"`
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	var req recommendRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	users := req.Users
+	if req.User != nil {
+		if len(users) > 0 {
+			s.fail(w, http.StatusBadRequest, errors.New("set either user or users, not both"))
+			return
+		}
+		users = []int{*req.User}
+	}
+	if len(users) == 0 {
+		s.fail(w, http.StatusBadRequest, errors.New("users is required and must be non-empty"))
+		return
+	}
+	if len(users) > s.cfg.MaxBatch {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("batch of %d users exceeds limit %d", len(users), s.cfg.MaxBatch))
+		return
+	}
+	n, err := s.clampN(req.N)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	mask := s.trainItems != nil
+	if req.MaskTrain != nil {
+		mask = *req.MaskTrain
+	}
+	if mask && s.trainItems == nil {
+		s.fail(w, http.StatusBadRequest, errors.New("mask_train requested but the server has no training graph (-train)"))
+		return
+	}
+	for _, u := range users {
+		if u < 0 || u >= s.emb.U.Rows {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("user %d outside [0,%d)", u, s.emb.U.Rows))
+			return
+		}
+	}
+
+	resp := recommendResponse{N: n, Results: make([]userRecommendation, len(users))}
+	// Serve cache hits first, then score the misses in one batched pass.
+	var missUsers []int
+	var missSlots []int
+	for i, u := range users {
+		key := cacheKey(u, n, mask)
+		if items, ok := s.cache.get(key); ok {
+			s.m.cacheHit.Inc()
+			resp.Results[i] = userRecommendation{User: u, Items: items, Cached: true}
+			continue
+		}
+		if s.cache != nil {
+			s.m.cacheMiss.Inc()
+		}
+		missUsers = append(missUsers, u)
+		missSlots = append(missSlots, i)
+	}
+	if len(missUsers) > 0 {
+		sc := s.recScorers.Get().(*eval.Scorer)
+		defer s.recScorers.Put(sc)
+		mi := 0
+		err := sc.Score(missUsers, s.checkpoint(r), func(u int, scores []float64) {
+			var skip map[int]bool
+			if mask {
+				skip = s.trainItems[u]
+			}
+			ids := eval.TopNIndices(scores, n, skip)
+			items := make([]scoredItem, len(ids))
+			for j, id := range ids {
+				items[j] = scoredItem{Item: id, Score: scores[id]}
+			}
+			s.cache.add(cacheKey(u, n, mask), items)
+			resp.Results[missSlots[mi]] = userRecommendation{User: u, Items: items}
+			mi++
+		})
+		if err != nil {
+			s.failBudget(w, err)
+			return
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func cacheKey(user, n int, mask bool) string {
+	return strconv.Itoa(user) + "|" + strconv.Itoa(n) + "|" + strconv.FormatBool(mask)
+}
+
+// --- /v1/similar ---------------------------------------------------
+
+type similarResponse struct {
+	Side      string       `json:"side"`
+	ID        int          `json:"id"`
+	Neighbors []scoredItem `json:"neighbors"`
+}
+
+// handleSimilar ranks same-side neighbors by cosine similarity:
+// normalized dot products over the precomputed row norms. Query
+// parameters: side (u|v, default u), id (required), n.
+func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	side := q.Get("side")
+	if side == "" {
+		side = "u"
+	}
+	var pool *sync.Pool
+	var norms []float64
+	switch side {
+	case "u":
+		pool, norms = &s.uSimScorers, s.uNorms
+	case "v":
+		pool, norms = &s.vSimScorers, s.vNorms
+	default:
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("side must be u or v, got %q", side))
+		return
+	}
+	id, err := strconv.Atoi(q.Get("id"))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("id is required and must be an integer: %q", q.Get("id")))
+		return
+	}
+	if id < 0 || id >= len(norms) {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("%s id %d outside [0,%d)", side, id, len(norms)))
+		return
+	}
+	n := 0
+	if raw := q.Get("n"); raw != "" {
+		if n, err = strconv.Atoi(raw); err != nil {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("bad n %q", raw))
+			return
+		}
+	}
+	if n, err = s.clampN(n); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+
+	sc := pool.Get().(*eval.Scorer)
+	defer pool.Put(sc)
+	resp := similarResponse{Side: side, ID: id}
+	err = sc.Score([]int{id}, s.checkpoint(r), func(_ int, scores []float64) {
+		for j := range scores {
+			if d := norms[id] * norms[j]; d > 0 {
+				scores[j] /= d
+			} else {
+				scores[j] = 0
+			}
+		}
+		ids := eval.TopNIndices(scores, n, map[int]bool{id: true})
+		resp.Neighbors = make([]scoredItem, len(ids))
+		for j, nid := range ids {
+			resp.Neighbors[j] = scoredItem{Item: nid, Score: scores[nid]}
+		}
+	})
+	if err != nil {
+		s.failBudget(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// --- /v1/score -----------------------------------------------------
+
+type scoreRequest struct {
+	// Pairs lists [u, v] index pairs to score.
+	Pairs [][2]int `json:"pairs"`
+}
+
+type scoreResponse struct {
+	Scores []float64 `json:"scores"`
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	var req scoreRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Pairs) == 0 {
+		s.fail(w, http.StatusBadRequest, errors.New("pairs is required and must be non-empty"))
+		return
+	}
+	if len(req.Pairs) > s.cfg.MaxBatch {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("batch of %d pairs exceeds limit %d", len(req.Pairs), s.cfg.MaxBatch))
+		return
+	}
+	check := s.checkpoint(r)
+	out := scoreResponse{Scores: make([]float64, len(req.Pairs))}
+	for i, p := range req.Pairs {
+		if i%1024 == 0 && check != nil {
+			if err := check(); err != nil {
+				s.failBudget(w, err)
+				return
+			}
+		}
+		u, v := p[0], p[1]
+		if u < 0 || u >= s.emb.U.Rows || v < 0 || v >= s.emb.V.Rows {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("pair %d: (%d,%d) outside %dx%d", i, u, v, s.emb.U.Rows, s.emb.V.Rows))
+			return
+		}
+		out.Scores[i] = s.emb.Score(u, v)
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+// --- /v1/healthz and /v1/info --------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+// handleInfo reports the embedding header plus the solver diagnostics
+// the TSV #meta lines carry — the ops-facing identity of what this
+// process is serving.
+func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"method":       s.emb.Method,
+		"users":        s.emb.U.Rows,
+		"items":        s.emb.V.Rows,
+		"k":            s.emb.K(),
+		"sigma_scale":  s.emb.SigmaScale,
+		"sweeps":       s.emb.Sweeps,
+		"sweeps_saved": s.emb.SweepsSaved,
+		"converged":    s.emb.Converged,
+		"stop_reason":  s.emb.StopReason,
+		"values":       len(s.emb.Values),
+		"train_edges":  s.trainEdges,
+		"cache_size":   s.cfg.CacheSize,
+		"cache_len":    s.cache.len(),
+		"max_inflight": s.cfg.MaxInflight,
+		"deadline_ms":  s.cfg.Deadline.Milliseconds(),
+	})
+}
+
+// --- shared helpers ------------------------------------------------
+
+// clampN applies the default and the upper bound to a requested list
+// length.
+func (s *Server) clampN(n int) (int, error) {
+	if n == 0 {
+		return s.cfg.DefaultN, nil
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("n must be positive, got %d", n)
+	}
+	if n > s.cfg.MaxN {
+		return 0, fmt.Errorf("n %d exceeds limit %d", n, s.cfg.MaxN)
+	}
+	return n, nil
+}
+
+// maxBody bounds request bodies; the largest legitimate payload is
+// MaxBatch score pairs, far under a megabyte.
+const maxBody = 1 << 20
+
+func decodeJSON(r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, err error) {
+	s.writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+// failBudget maps a blown per-request budget to 503 + Retry-After; any
+// other scoring error is a 500.
+func (s *Server) failBudget(w http.ResponseWriter, err error) {
+	if errors.Is(err, budget.ErrExceeded) {
+		s.m.deadlines.Inc()
+		w.Header().Set("Retry-After", "1")
+		s.fail(w, http.StatusServiceUnavailable, fmt.Errorf("request budget exceeded (%s)", s.cfg.Deadline))
+		return
+	}
+	s.fail(w, http.StatusInternalServerError, err)
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		s.cfg.Log.Warn("serve: encoding response", "err", err)
+	}
+}

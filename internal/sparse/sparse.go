@@ -306,8 +306,14 @@ func EnableMetrics(r *obs.Registry) {
 	}
 	km.seconds[opMul] = r.Histogram("sparse_spmm_seconds", "wall-clock of W·B products", nil)
 	km.seconds[opTMul] = r.Histogram("sparse_spmm_t_seconds", "wall-clock of Wᵀ·B products", nil)
-	km.seconds[opMulVec] = r.Histogram("sparse_spmv_seconds", "wall-clock of W·x products", nil)
-	km.seconds[opTMulVec] = r.Histogram("sparse_spmv_t_seconds", "wall-clock of Wᵀ·x products", nil)
+	// The vector products sit on FastBuckets: one SpMV is a single pass
+	// over nnz — sub-millisecond on every stand-in — and it is the hop
+	// kernel of the point-query path (core.hColumn), where DefBuckets'
+	// 100µs floor lumped the whole distribution into two buckets. The
+	// block products stay on DefBuckets: they stream nnz×k and land in
+	// the millisecond-to-second solver-phase range DefBuckets covers.
+	km.seconds[opMulVec] = r.Histogram("sparse_spmv_seconds", "wall-clock of W·x products", obs.FastBuckets)
+	km.seconds[opTMulVec] = r.Histogram("sparse_spmv_t_seconds", "wall-clock of Wᵀ·x products", obs.FastBuckets)
 	km.calls[opMul] = r.Counter("sparse_spmm_calls_total", "number of W·B products")
 	km.calls[opTMul] = r.Counter("sparse_spmm_t_calls_total", "number of Wᵀ·B products")
 	km.calls[opMulVec] = r.Counter("sparse_spmv_calls_total", "number of W·x products")
