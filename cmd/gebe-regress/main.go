@@ -1,0 +1,53 @@
+// Command gebe-regress is the latency regression gate: it compares a
+// fresh performance record against a committed baseline and exits
+// non-zero when a quantile or phase duration regressed beyond both the
+// relative threshold and the absolute floor. It reads the two record
+// kinds this repo produces — serve latency snapshots
+// (results/SERVE_LATENCY.json, written by gebe-serve -latency-out) and
+// experiment run manifests (RUN_<exp>.json, written by gebe-bench
+// -manifest-dir) — detecting the kind from the file contents.
+//
+//	gebe-regress -old results/SERVE_LATENCY.json -new /tmp/fresh.json \
+//	    -ratio 5 -min-delta 25ms
+//
+// Exit codes: 0 gate passed, 1 regression found, 2 usage or I/O error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gebe/internal/regress"
+)
+
+func main() {
+	var (
+		oldPath  = flag.String("old", "", "baseline record (latency snapshot or run manifest)")
+		newPath  = flag.String("new", "", "fresh record of the same kind")
+		ratio    = flag.Float64("ratio", 0.5, "allowed fractional increase (0.5 = +50%)")
+		minDelta = flag.Duration("min-delta", 25*time.Millisecond, "absolute increase floor; smaller deltas never fail")
+		minCount = flag.Uint64("min-count", 1, "skip endpoints with fewer samples on either side")
+	)
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "gebe-regress: -old and -new are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	report, err := regress.CompareFiles(*oldPath, *newPath, regress.Options{
+		Ratio:    *ratio,
+		MinDelta: minDelta.Seconds(),
+		MinCount: *minCount,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gebe-regress:", err)
+		os.Exit(2)
+	}
+	fmt.Println(report.Summary())
+	if !report.OK() {
+		os.Exit(1)
+	}
+}

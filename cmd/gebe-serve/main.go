@@ -12,7 +12,12 @@
 // GET /v1/healthz, GET /v1/info. Requests beyond -max-inflight are shed
 // with 429 + Retry-After; requests that blow -deadline get 503; SIGINT/
 // SIGTERM drains in-flight requests before exiting. Metrics (request
-// histograms, shed/cache counters) appear on the -debug-addr mux.
+// histograms, shed/cache counters, runtime stats) appear on the
+// -debug-addr mux. Every non-bypass request answers with an
+// X-Request-ID; the -trace-requests slowest/errored span trees are
+// retrievable from GET /debug/requests[/{id}], and -latency-out
+// persists per-endpoint latency quantiles on clean shutdown for the
+// gebe-regress gate.
 package main
 
 import (
@@ -42,6 +47,8 @@ func main() {
 		cacheSize   = flag.Int("cache", 1024, "recommend LRU cache entries (0 = disabled)")
 		defaultN    = flag.Int("n", 10, "default recommendation list length")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+		traceReqs   = flag.Int("trace-requests", 64, "retained request traces on /debug/requests (0 = disabled)")
+		latencyOut  = flag.String("latency-out", "", "write a latency snapshot (SERVE_LATENCY.json) here on clean exit")
 	)
 	cli := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -61,6 +68,7 @@ func main() {
 		eval.EnableMetrics(obs.DefaultRegistry())
 		sparse.EnableMetrics(obs.DefaultRegistry())
 		dense.EnableMetrics(obs.DefaultRegistry())
+		obs.RegisterRuntimeMetrics(obs.DefaultRegistry())
 	}
 
 	emb, err := gebe.LoadEmbedding(*embP)
@@ -74,12 +82,13 @@ func main() {
 		}
 	}
 	srv, err := serve.New(emb, train, serve.Config{
-		Deadline:    *ddl,
-		MaxInflight: *maxInflight,
-		CacheSize:   *cacheSize,
-		DefaultN:    *defaultN,
-		Metrics:     obs.DefaultRegistry(),
-		Log:         obs.Default(),
+		Deadline:      *ddl,
+		MaxInflight:   *maxInflight,
+		CacheSize:     *cacheSize,
+		DefaultN:      *defaultN,
+		TraceRequests: *traceReqs,
+		Metrics:       obs.DefaultRegistry(),
+		Log:           obs.Default(),
 	})
 	if err != nil {
 		fail(err)
@@ -96,6 +105,15 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	if err := serve.Run(ln, srv.Handler(), sig, *drain, obs.Default()); err != nil {
 		fail(err)
+	}
+	// The snapshot is written after the drain so it covers every request
+	// this process served; gebe-regress compares it against the committed
+	// baseline.
+	if *latencyOut != "" {
+		if err := srv.WriteLatencySnapshot(*latencyOut); err != nil {
+			fail(err)
+		}
+		obs.Default().Info("serve: wrote latency snapshot", "path", *latencyOut)
 	}
 }
 

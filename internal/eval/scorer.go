@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -57,6 +58,19 @@ func (s *Scorer) Items() int { return s.v.Rows }
 // returns. User ids outside [0, Users()) panic, mirroring dense row
 // access.
 func (s *Scorer) Score(users []int, checkpoint func() error, emit func(user int, scores []float64)) error {
+	return s.score(nil, users, checkpoint, emit)
+}
+
+// ScoreCtx is Score with request-scoped tracing: when ctx carries an
+// obs.Trace (the serve layer's per-request trace), every GEMM tile is
+// recorded as a "score.tile" span attributed with its user count and
+// item width — the per-tile visibility that turns "this request was
+// slow" into "tile 37 was slow". An untraced context is exactly Score.
+func (s *Scorer) ScoreCtx(ctx context.Context, users []int, checkpoint func() error, emit func(user int, scores []float64)) error {
+	return s.score(obs.FromContext(ctx), users, checkpoint, emit)
+}
+
+func (s *Scorer) score(tr *obs.Trace, users []int, checkpoint func() error, emit func(user int, scores []float64)) error {
 	if len(users) == 0 {
 		return nil
 	}
@@ -90,8 +104,10 @@ func (s *Scorer) Score(users []int, checkpoint func() error, emit func(user int,
 		}
 		// Tuning{} keeps the product sequential: scorer callers supply the
 		// parallelism (eval workers, concurrent serve requests).
+		sp := tr.StartSpan("score.tile")
 		t0 := time.Now()
 		dense.MulTInto(st, ub, s.v, dense.Tuning{})
+		sp.Set("users", len(batch)).Set("items", s.v.Rows).End()
 		if m != nil {
 			m.tileSeconds.ObserveSince(t0)
 			m.tiles.Inc()

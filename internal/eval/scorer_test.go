@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"errors"
 	"math/rand/v2"
 	"testing"
@@ -135,5 +136,57 @@ func TestScorerMetrics(t *testing.T) {
 	}
 	if got := reg.Histogram("eval_score_tile_seconds", "", nil).Count(); got != 3 {
 		t.Errorf("tile histogram count = %v, want 3", got)
+	}
+}
+
+// TestScoreCtxTileSpans: with a request-scoped trace in the context,
+// every GEMM tile appears as a "score.tile" span attributed with its
+// user count and item width; an untraced context behaves exactly like
+// Score.
+func TestScoreCtxTileSpans(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 0))
+	u := dense.Random(40, 8, rng)
+	v := dense.Random(30, 8, rng)
+	sc := NewScorer(u, v)
+	users := make([]int, 40)
+	for i := range users {
+		users[i] = i
+	}
+
+	tr := obs.NewTrace("req")
+	ctx := obs.ContextWithTrace(context.Background(), tr)
+	emitted := 0
+	if err := sc.ScoreCtx(ctx, users, nil, func(int, []float64) { emitted++ }); err != nil {
+		t.Fatal(err)
+	}
+	if emitted != 40 {
+		t.Fatalf("emitted %d rows, want 40", emitted)
+	}
+	root := tr.Root()
+	// 40 users at 16 per tile → 3 tiles.
+	if len(root.Children) != 3 {
+		t.Fatalf("trace has %d spans, want 3 tiles: %+v", len(root.Children), root.Children)
+	}
+	usersSeen := 0
+	for i, sp := range root.Children {
+		if sp.Name != "score.tile" {
+			t.Errorf("span %d = %q, want score.tile", i, sp.Name)
+		}
+		if sp.Attrs["items"] != 30 {
+			t.Errorf("span %d items = %v, want 30", i, sp.Attrs["items"])
+		}
+		usersSeen += sp.Attrs["users"].(int)
+	}
+	if usersSeen != 40 {
+		t.Errorf("tile spans account for %d users, want 40", usersSeen)
+	}
+
+	// Untraced context: same scoring, no spans, no panic.
+	emitted = 0
+	if err := sc.ScoreCtx(context.Background(), users, nil, func(int, []float64) { emitted++ }); err != nil {
+		t.Fatal(err)
+	}
+	if emitted != 40 {
+		t.Fatalf("untraced emitted %d rows, want 40", emitted)
 	}
 }

@@ -27,9 +27,13 @@ func (d Duration) MarshalJSON() ([]byte, error) {
 // or regress-check the run later — configuration, per-row results, the
 // phase-timing trace tree, and process memory statistics.
 type Manifest struct {
-	Experiment     string         `json:"experiment"`
-	CreatedAt      time.Time      `json:"created_at"`
-	GoVersion      string         `json:"go_version"`
+	Experiment string    `json:"experiment"`
+	CreatedAt  time.Time `json:"created_at"`
+	GoVersion  string    `json:"go_version"`
+	// Build pins the VCS revision and toolchain the numbers were measured
+	// with; regression comparisons across manifests are only meaningful
+	// when both sides name their commit.
+	Build          obs.Build      `json:"build"`
 	Config         ManifestConfig `json:"config"`
 	ElapsedSeconds float64        `json:"elapsed_seconds"`
 	Rows           any            `json:"rows"`
@@ -69,6 +73,7 @@ func (c Config) writeManifest(exp string, rows any, tr *obs.Trace, start time.Ti
 		Experiment: exp,
 		CreatedAt:  time.Now().UTC(),
 		GoVersion:  runtime.Version(),
+		Build:      obs.BuildInfo(),
 		Config: ManifestConfig{
 			K: c.K, Seed: c.Seed, Threads: c.Threads,
 			TimeBudgetSeconds: c.TimeBudget.Seconds(),

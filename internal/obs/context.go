@@ -1,0 +1,39 @@
+package obs
+
+import "context"
+
+// Request-scoped tracing. The original Trace (span.go) nests spans
+// through one shared stack, which is exactly right for a sequential
+// solver run and exactly wrong for a server: spans opened by concurrent
+// requests on a shared trace attach to whatever span happens to be
+// innermost, misparenting the tree. Context carriage fixes that by
+// giving every request its own *Trace — the tree is private to one
+// goroutine chain, so the stack discipline holds again.
+
+// traceKey is the context key for a request-scoped *Trace.
+type traceKey struct{}
+
+// ContextWithTrace returns a context carrying tr. A nil tr is allowed
+// and simply means "untraced": FromContext will return nil and every
+// span operation downstream degrades to a no-op.
+func ContextWithTrace(ctx context.Context, tr *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, tr)
+}
+
+// FromContext returns the trace carried by ctx, or nil when the context
+// is untraced. The nil result is safe to use directly:
+// FromContext(ctx).StartSpan("x") is a no-op returning a nil span.
+func FromContext(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	tr, _ := ctx.Value(traceKey{}).(*Trace)
+	return tr
+}
+
+// SpanFromContext opens a span on the context's trace: the one-line
+// instrumentation idiom for request handlers. No-op on untraced
+// contexts.
+func SpanFromContext(ctx context.Context, name string) *Span {
+	return FromContext(ctx).StartSpan(name)
+}

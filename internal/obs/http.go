@@ -40,6 +40,7 @@ func ServeDebug(addr string, reg *Registry) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	RegisterRuntimeMetrics(reg)
 	reg.PublishExpvar("gebe_metrics")
 	srv := &http.Server{Handler: NewDebugMux(reg)}
 	go func() { _ = srv.Serve(ln) }()

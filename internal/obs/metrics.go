@@ -136,12 +136,59 @@ func (h *Histogram) Sum() float64 {
 	return h.sum.Load()
 }
 
-// metric unifies the three kinds for registry output.
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket
+// counts by linear interpolation inside the bucket the rank falls in —
+// the same estimate Prometheus's histogram_quantile computes server-
+// side. Observations beyond the last finite bound clamp to that bound.
+// Returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || len(h.bounds) == 0 {
+		return 0
+	}
+	// Snapshot the counts once; concurrent Observe calls may skew the
+	// estimate by a sample, which is fine for diagnostics.
+	counts := make([]uint64, len(h.counts))
+	var total uint64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i >= len(h.bounds) {
+			// +Inf bucket: the best available answer is the last bound.
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		return lo + (h.bounds[i]-lo)*(rank-(cum-float64(c)))/float64(c)
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// metric unifies the metric kinds for registry output.
 type metric struct {
 	help string
 	c    *Counter
 	g    *Gauge
 	h    *Histogram
+	gf   func() float64
 }
 
 // Registry is a concurrency-safe named collection of metrics. Metric
@@ -180,6 +227,20 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 		return &Gauge{}
 	}
 	return m.g
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at
+// collection time (WriteTo / Snapshot) instead of being pushed — the
+// shape runtime statistics want, where the source of truth is the
+// runtime itself and storing a copy would only let it go stale. fn must
+// be safe for concurrent calls and must not touch the registry (it runs
+// under the registry lock). Registering a name twice keeps the first
+// function.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.getOrCreate(name, help, func() *metric { return &metric{help: help, gf: fn} })
 }
 
 // Histogram returns the named histogram, creating it on first use with
@@ -295,6 +356,10 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 			if err = p("# TYPE %s gauge\n", name); err == nil {
 				err = p("%s %v\n", name, m.g.Value())
 			}
+		case m.gf != nil:
+			if err = p("# TYPE %s gauge\n", name); err == nil {
+				err = p("%s %v\n", name, m.gf())
+			}
 		case m.h != nil:
 			if err = p("# TYPE %s histogram\n", name); err != nil {
 				return n, err
@@ -341,6 +406,8 @@ func (r *Registry) Snapshot() map[string]any {
 			out[name] = m.c.Value()
 		case m.g != nil:
 			out[name] = m.g.Value()
+		case m.gf != nil:
+			out[name] = m.gf()
 		case m.h != nil:
 			out[name] = map[string]any{"count": m.h.Count(), "sum": m.h.Sum()}
 		}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	runtimemetrics "runtime/metrics"
+)
+
+// The runtime collector exports process health alongside the domain
+// metrics: when a latency histogram moves, the first question is
+// whether the process itself was struggling (goroutine pileup, heap
+// growth, GC pauses). Everything reads runtime/metrics at scrape time
+// through GaugeFunc, the same cheap sampling heapAllocBytes uses — no
+// background goroutine, no stop-the-world ReadMemStats.
+
+// runtime/metrics sample names the collector reads.
+const (
+	rmHeapBytes = "/memory/classes/heap/objects:bytes"
+	rmGCPauses  = "/sched/pauses/total/gc:seconds"
+	rmGCCycles  = "/gc/cycles/total:gc-cycles"
+)
+
+// RegisterRuntimeMetrics exposes goroutine count, live heap bytes, GC
+// cycle count, and GC pause quantiles (p50/p90/p99) on r. Idempotent;
+// safe on a nil registry.
+func RegisterRuntimeMetrics(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.GaugeFunc("runtime_goroutines", "goroutines currently live",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("runtime_heap_bytes", "bytes of live heap objects",
+		func() float64 { return sampleUint64(rmHeapBytes) })
+	r.GaugeFunc("runtime_gc_cycles", "completed GC cycles",
+		func() float64 { return sampleUint64(rmGCCycles) })
+	for _, q := range []struct {
+		name string
+		q    float64
+	}{{"p50", 0.50}, {"p90", 0.90}, {"p99", 0.99}} {
+		q := q
+		r.GaugeFunc("runtime_gc_pause_seconds_"+q.name,
+			"GC stop-the-world pause quantile ("+q.name+") over the process lifetime",
+			func() float64 { return gcPauseQuantile(q.q) })
+	}
+}
+
+// sampleUint64 reads one uint64 runtime/metrics sample (0 when the
+// metric is unsupported on this Go version).
+func sampleUint64(name string) float64 {
+	s := []runtimemetrics.Sample{{Name: name}}
+	runtimemetrics.Read(s)
+	if s[0].Value.Kind() != runtimemetrics.KindUint64 {
+		return 0
+	}
+	return float64(s[0].Value.Uint64())
+}
+
+// gcPauseQuantile estimates a quantile of the runtime's cumulative GC
+// pause histogram by linear interpolation within the bucket the rank
+// falls in, mirroring Histogram.Quantile for the runtime's
+// variable-width buckets.
+func gcPauseQuantile(q float64) float64 {
+	s := []runtimemetrics.Sample{{Name: rmGCPauses}}
+	runtimemetrics.Read(s)
+	if s[0].Value.Kind() != runtimemetrics.KindFloat64Histogram {
+		return 0
+	}
+	h := s[0].Value.Float64Histogram()
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range h.Counts {
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		// Bucket i spans h.Buckets[i] .. h.Buckets[i+1]; the outermost
+		// buckets may be infinite — clamp to the finite edge.
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		if math.IsInf(lo, -1) || lo < 0 {
+			lo = 0
+		}
+		if math.IsInf(hi, 1) {
+			return lo
+		}
+		return lo + (hi-lo)*(rank-(cum-float64(c)))/float64(c)
+	}
+	return 0
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewRegistry().Histogram("q", "", []float64{1, 2, 4, 8})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+	// 100 observations uniform in (0,1]: every quantile interpolates
+	// inside the first bucket [0,1].
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	if got := h.Quantile(0.5); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("p50 = %v, want 0.5", got)
+	}
+	if got := h.Quantile(1); got != 1 {
+		t.Errorf("p100 = %v, want 1 (top of first bucket)", got)
+	}
+	// Push 100 more into (2,4]: p75 now sits in that bucket.
+	for i := 1; i <= 100; i++ {
+		h.Observe(2 + 2*float64(i)/100)
+	}
+	if got := h.Quantile(0.75); got <= 2 || got > 4 {
+		t.Errorf("p75 = %v, want within (2,4]", got)
+	}
+	// Observations beyond the last bound clamp to it.
+	h.Observe(1000)
+	if got := h.Quantile(1); got != 8 {
+		t.Errorf("p100 with +Inf observation = %v, want clamp to 8", got)
+	}
+	// Bounds clamp, nil is safe.
+	if got := h.Quantile(-1); got < 0 {
+		t.Errorf("q=-1 -> %v", got)
+	}
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil histogram quantile = %v", got)
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	v := 1.0
+	r.GaugeFunc("dynamic", "computed at scrape", func() float64 { return v })
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "dynamic 1") || !strings.Contains(sb.String(), "# TYPE dynamic gauge") {
+		t.Errorf("exposition missing gauge func:\n%s", sb.String())
+	}
+	v = 42
+	if got := r.Snapshot()["dynamic"]; got != 42.0 {
+		t.Errorf("snapshot = %v, want the recomputed 42", got)
+	}
+	// Re-registering keeps the first function; nil fn and nil registry
+	// are no-ops.
+	r.GaugeFunc("dynamic", "", func() float64 { return -1 })
+	if got := r.Snapshot()["dynamic"]; got != 42.0 {
+		t.Errorf("re-register replaced the function: %v", got)
+	}
+	r.GaugeFunc("nilfn", "", nil)
+	var nilR *Registry
+	nilR.GaugeFunc("x", "", func() float64 { return 0 })
+}
+
+func TestRegisterRuntimeMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+	RegisterRuntimeMetrics(r) // idempotent
+	RegisterRuntimeMetrics(nil)
+	runtime.GC() // ensure at least one pause sample exists
+	snap := r.Snapshot()
+	if g, ok := snap["runtime_goroutines"].(float64); !ok || g < 1 {
+		t.Errorf("runtime_goroutines = %v", snap["runtime_goroutines"])
+	}
+	if b, ok := snap["runtime_heap_bytes"].(float64); !ok || b <= 0 {
+		t.Errorf("runtime_heap_bytes = %v", snap["runtime_heap_bytes"])
+	}
+	if c, ok := snap["runtime_gc_cycles"].(float64); !ok || c < 1 {
+		t.Errorf("runtime_gc_cycles = %v", snap["runtime_gc_cycles"])
+	}
+	p50, ok50 := snap["runtime_gc_pause_seconds_p50"].(float64)
+	p99, ok99 := snap["runtime_gc_pause_seconds_p99"].(float64)
+	if !ok50 || !ok99 || p50 < 0 || p99 < p50 {
+		t.Errorf("gc pause quantiles p50=%v p99=%v", p50, p99)
+	}
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "runtime_gc_pause_seconds_p90") {
+		t.Errorf("exposition missing runtime metrics:\n%s", sb.String())
+	}
+}

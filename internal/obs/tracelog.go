@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// TraceEntry is one finished request trace plus the metadata needed to
+// find it again: the request id, the endpoint, how the request ended,
+// and the full span tree. Entries are immutable once added.
+type TraceEntry struct {
+	ID       string        `json:"id"`
+	Name     string        `json:"name"`
+	Status   int           `json:"status"`
+	Bytes    int64         `json:"bytes"`
+	Start    time.Time     `json:"start"`
+	Elapsed  time.Duration `json:"elapsed_ns"`
+	Cause    string        `json:"cause,omitempty"` // "", "deadline", "panic", "error"
+	Retained string        `json:"retained,omitempty"`
+	Trace    *Span         `json:"trace,omitempty"`
+}
+
+// errored reports whether the entry should be kept on the error ring:
+// server-side failures and any request with an explicit failure cause.
+func (e *TraceEntry) errored() bool {
+	return e.Status >= 500 || e.Cause != ""
+}
+
+// TraceLog is a tail-sampling retention buffer for request traces. Most
+// requests are healthy and fast, and keeping all of them would be an
+// unbounded memory leak — what an operator needs after the fact is the
+// outliers. The log therefore retains two bounded sets:
+//
+//   - the n slowest requests seen so far (evicting the fastest), and
+//   - the n most recent errored requests (5xx, deadline, panic), FIFO.
+//
+// An entry may sit in both sets; it stays addressable by request id
+// until it has been evicted from every set. A nil *TraceLog is valid
+// and drops everything, so callers instrument unconditionally.
+type TraceLog struct {
+	mu   sync.Mutex
+	n    int
+	slow []*logEntry // unordered; evict current minimum Elapsed when full
+	errs []*logEntry // FIFO ring, oldest first
+	byID map[string]*logEntry
+}
+
+// logEntry wraps a TraceEntry with its retention refcount.
+type logEntry struct {
+	e    TraceEntry
+	refs int
+}
+
+// NewTraceLog returns a trace log retaining up to n slowest and n
+// errored traces; n <= 0 returns nil (retention disabled).
+func NewTraceLog(n int) *TraceLog {
+	if n <= 0 {
+		return nil
+	}
+	return &TraceLog{n: n, byID: make(map[string]*logEntry, 2*n)}
+}
+
+// Cap returns the per-set retention capacity (0 for a nil log).
+func (l *TraceLog) Cap() int {
+	if l == nil {
+		return 0
+	}
+	return l.n
+}
+
+// Add offers a finished request trace for retention. Whether it is kept
+// depends on how it compares to what is already retained; Add never
+// blocks request completion on anything but the log's own mutex.
+func (l *TraceLog) Add(e TraceEntry) {
+	if l == nil {
+		return
+	}
+	le := &logEntry{e: e}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	// Slow set: fill to capacity, then displace the current fastest.
+	if len(l.slow) < l.n {
+		l.retain(le, l.appendSlow)
+	} else if mi := l.minSlow(); l.slow[mi].e.Elapsed < e.Elapsed {
+		l.release(l.slow[mi])
+		l.slow[mi] = le
+		l.retain(le, nil)
+	}
+	// Error ring: every errored request, oldest evicted first.
+	if le.e.errored() {
+		if len(l.errs) == l.n {
+			l.release(l.errs[0])
+			copy(l.errs, l.errs[1:])
+			l.errs = l.errs[:l.n-1]
+		}
+		l.errs = append(l.errs, le)
+		l.retain(le, nil)
+	}
+}
+
+func (l *TraceLog) appendSlow(le *logEntry) { l.slow = append(l.slow, le) }
+
+// retain bumps the entry's refcount, indexes it by id on first
+// retention, and runs the optional set-insertion hook.
+func (l *TraceLog) retain(le *logEntry, insert func(*logEntry)) {
+	if le.refs == 0 {
+		// A client-reused id overwrites the older entry in the index; both
+		// stay retained in their sets, the newer one wins lookup.
+		l.byID[le.e.ID] = le
+	}
+	le.refs++
+	if insert != nil {
+		insert(le)
+	}
+}
+
+// release drops one reference; the last release un-indexes the entry.
+func (l *TraceLog) release(le *logEntry) {
+	le.refs--
+	if le.refs == 0 && l.byID[le.e.ID] == le {
+		delete(l.byID, le.e.ID)
+	}
+}
+
+// minSlow returns the index of the fastest retained slow entry.
+func (l *TraceLog) minSlow() int {
+	mi := 0
+	for i, le := range l.slow {
+		if le.e.Elapsed < l.slow[mi].e.Elapsed {
+			mi = i
+		}
+	}
+	return mi
+}
+
+// Get returns the full retained entry (span tree included) for a
+// request id.
+func (l *TraceLog) Get(id string) (TraceEntry, bool) {
+	if l == nil {
+		return TraceEntry{}, false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	le, ok := l.byID[id]
+	if !ok {
+		return TraceEntry{}, false
+	}
+	return le.e, true
+}
+
+// Entries returns a summary view of everything currently retained —
+// span trees stripped, deduplicated across sets, slowest first, each
+// marked with why it was kept ("slow", "error", or "slow,error").
+func (l *TraceLog) Entries() []TraceEntry {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	seen := make(map[*logEntry]*TraceEntry, len(l.slow)+len(l.errs))
+	out := make([]TraceEntry, 0, len(l.slow)+len(l.errs))
+	collect := func(les []*logEntry, reason string) {
+		for _, le := range les {
+			if prev := seen[le]; prev != nil {
+				prev.Retained += "," + reason
+				continue
+			}
+			e := le.e
+			e.Trace = nil
+			e.Retained = reason
+			out = append(out, e)
+			seen[le] = &out[len(out)-1]
+		}
+	}
+	collect(l.slow, "slow")
+	collect(l.errs, "error")
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Elapsed > out[j].Elapsed })
+	return out
+}

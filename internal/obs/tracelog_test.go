@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func entry(id string, status int, elapsed time.Duration, cause string) TraceEntry {
+	tr := NewTrace("req")
+	tr.StartSpan("phase").End()
+	return TraceEntry{ID: id, Name: "recommend", Status: status,
+		Elapsed: elapsed, Cause: cause, Trace: tr.Root()}
+}
+
+func TestTraceLogRetainsSlowest(t *testing.T) {
+	l := NewTraceLog(3)
+	for i := 1; i <= 10; i++ {
+		l.Add(entry(fmt.Sprintf("r%d", i), 200, time.Duration(i)*time.Millisecond, ""))
+	}
+	got := l.Entries()
+	if len(got) != 3 {
+		t.Fatalf("retained %d entries, want 3", len(got))
+	}
+	// Slowest first: r10, r9, r8.
+	for i, want := range []string{"r10", "r9", "r8"} {
+		if got[i].ID != want {
+			t.Errorf("entry %d = %s, want %s", i, got[i].ID, want)
+		}
+		if got[i].Retained != "slow" {
+			t.Errorf("entry %d retained = %q, want slow", i, got[i].Retained)
+		}
+		if got[i].Trace != nil {
+			t.Errorf("summary for %s carries the span tree", got[i].ID)
+		}
+	}
+	// Evicted fast entries are no longer addressable; retained ones are,
+	// with their span tree intact.
+	if _, ok := l.Get("r1"); ok {
+		t.Error("evicted r1 still addressable")
+	}
+	full, ok := l.Get("r10")
+	if !ok || full.Trace == nil || len(full.Trace.Children) != 1 {
+		t.Fatalf("Get(r10) = %+v, %v; want full span tree", full, ok)
+	}
+}
+
+func TestTraceLogRetainsErrored(t *testing.T) {
+	l := NewTraceLog(2)
+	// Two slow healthy requests fill the slow set.
+	l.Add(entry("slow1", 200, 100*time.Millisecond, ""))
+	l.Add(entry("slow2", 200, 90*time.Millisecond, ""))
+	// Fast errored requests are kept on the error ring even though they
+	// would never qualify as slow; the ring is FIFO-bounded.
+	l.Add(entry("err1", 500, time.Microsecond, "panic"))
+	l.Add(entry("err2", 503, 2*time.Microsecond, "deadline"))
+	l.Add(entry("err3", 500, 3*time.Microsecond, ""))
+
+	if _, ok := l.Get("err1"); ok {
+		t.Error("err1 should have been evicted from the 2-entry error ring")
+	}
+	for _, id := range []string{"err2", "err3", "slow1", "slow2"} {
+		if _, ok := l.Get(id); !ok {
+			t.Errorf("%s not retained", id)
+		}
+	}
+	got := l.Entries()
+	if len(got) != 4 {
+		t.Fatalf("retained %d entries, want 4: %+v", len(got), got)
+	}
+	if got[0].ID != "slow1" || got[0].Retained != "slow" {
+		t.Errorf("slowest = %s (%s), want slow1 (slow)", got[0].ID, got[0].Retained)
+	}
+}
+
+func TestTraceLogSlowAndErrored(t *testing.T) {
+	// A slow *and* errored entry sits in both sets and must survive
+	// eviction from one while referenced by the other.
+	l := NewTraceLog(2)
+	l.Add(entry("both", 503, time.Second, "deadline"))
+	got := l.Entries()
+	if len(got) != 1 || !strings.Contains(got[0].Retained, "slow") || !strings.Contains(got[0].Retained, "error") {
+		t.Fatalf("entries = %+v, want one entry retained as slow and error", got)
+	}
+	// Push it off the slow set with slower healthy requests.
+	l.Add(entry("s1", 200, 2*time.Second, ""))
+	l.Add(entry("s2", 200, 3*time.Second, ""))
+	if _, ok := l.Get("both"); !ok {
+		t.Error("entry evicted from slow set lost its error-ring retention")
+	}
+	// Then off the error ring too: now it must disappear entirely.
+	l.Add(entry("e1", 500, time.Microsecond, ""))
+	l.Add(entry("e2", 500, time.Microsecond, ""))
+	if _, ok := l.Get("both"); ok {
+		t.Error("entry evicted from both sets still addressable")
+	}
+	if _, ok := l.Get("s2"); !ok {
+		t.Error("slow entry lost")
+	}
+}
+
+func TestTraceLogNilAndDisabled(t *testing.T) {
+	if l := NewTraceLog(0); l != nil {
+		t.Fatal("capacity 0 should disable the log (nil)")
+	}
+	var l *TraceLog
+	l.Add(entry("x", 200, time.Second, "")) // must not panic
+	if got := l.Entries(); got != nil {
+		t.Errorf("nil log entries = %v", got)
+	}
+	if _, ok := l.Get("x"); ok {
+		t.Error("nil log retained an entry")
+	}
+	if l.Cap() != 0 {
+		t.Error("nil log capacity != 0")
+	}
+}
+
+func TestTraceLogConcurrent(t *testing.T) {
+	l := NewTraceLog(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				status := 200
+				if i%7 == 0 {
+					status = 500
+				}
+				l.Add(entry(fmt.Sprintf("g%d-%d", g, i), status, time.Duration(g*50+i)*time.Microsecond, ""))
+				l.Entries()
+				l.Get(fmt.Sprintf("g%d-%d", g, i/2))
+			}
+		}(g)
+	}
+	wg.Wait()
+	got := l.Entries()
+	if len(got) == 0 || len(got) > 16 {
+		t.Fatalf("retained %d entries, want 1..16", len(got))
+	}
+	for _, e := range got {
+		if _, ok := l.Get(e.ID); !ok {
+			t.Errorf("listed entry %s not addressable", e.ID)
+		}
+	}
+}

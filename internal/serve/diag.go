@@ -1,0 +1,139 @@
+package serve
+
+// Serve-side diagnostics: the /debug/requests endpoints over the
+// tail-sampled trace retention ring, and the latency snapshot the
+// regression gate (cmd/gebe-regress) compares across commits.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	"gebe/internal/obs"
+)
+
+// debugRequestsResponse is the GET /debug/requests body: what the ring
+// currently retains, slowest first, span trees omitted (fetch one by id
+// for the full tree).
+type debugRequestsResponse struct {
+	Capacity int              `json:"capacity"`
+	Count    int              `json:"count"`
+	Requests []obs.TraceEntry `json:"requests"`
+}
+
+// handleDebugRequests summarizes the retained request traces. The
+// route bypasses load shedding (lifecycle.bypassed): it exists to be
+// read while the server is misbehaving.
+func (s *Server) handleDebugRequests(w http.ResponseWriter, _ *http.Request) {
+	entries := s.tlog.Entries()
+	s.writeJSON(w, http.StatusOK, debugRequestsResponse{
+		Capacity: s.tlog.Cap(),
+		Count:    len(entries),
+		Requests: entries,
+	})
+}
+
+// handleDebugRequest returns one retained request in full — metadata
+// plus the span tree, the same schema obs.Trace.WriteJSON emits for
+// solver runs, so the same tooling reads both.
+func (s *Server) handleDebugRequest(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, ok := s.tlog.Get(id)
+	if !ok {
+		s.fail(w, http.StatusNotFound,
+			fmt.Errorf("request %q not retained (kept: %d slowest + recent errored)", id, s.tlog.Cap()))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, e)
+}
+
+// --- latency snapshot ------------------------------------------------
+
+// EndpointLatency is one endpoint's latency distribution at snapshot
+// time: total request count, cumulative seconds, and interpolated
+// quantiles from the serve histogram's buckets.
+type EndpointLatency struct {
+	Count      uint64             `json:"count"`
+	SumSeconds float64            `json:"sum_seconds"`
+	Quantiles  map[string]float64 `json:"quantiles"`
+}
+
+// SnapshotQuantiles are the quantiles a latency snapshot records and
+// the regression gate compares.
+var SnapshotQuantiles = map[string]float64{"p50": 0.50, "p90": 0.90, "p99": 0.99}
+
+// LatencySnapshot is the machine-readable latency record one serve run
+// leaves behind (results/SERVE_LATENCY.json): per-endpoint histogram
+// quantiles plus the lifecycle counters, stamped with build provenance
+// so two snapshots are only ever compared knowing which commits they
+// measure. The FOBE/HOBE line of work makes the same point about
+// embedding-quality numbers: a comparison is only meaningful when the
+// measurement pipeline is controlled — this is that discipline applied
+// to our latency claims.
+type LatencySnapshot struct {
+	CreatedAt     time.Time                  `json:"created_at"`
+	Build         obs.Build                  `json:"build"`
+	UptimeSeconds float64                    `json:"uptime_seconds"`
+	Endpoints     map[string]EndpointLatency `json:"endpoints"`
+	Counters      map[string]float64         `json:"counters"`
+}
+
+// LatencySnapshot captures the server's current latency state.
+func (s *Server) LatencySnapshot() LatencySnapshot {
+	snap := LatencySnapshot{
+		CreatedAt:     time.Now().UTC(),
+		Build:         obs.BuildInfo(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Endpoints:     make(map[string]EndpointLatency, len(endpoints)),
+		Counters: map[string]float64{
+			"shed":       s.m.shed.Value(),
+			"deadline":   s.m.deadlines.Value(),
+			"panics":     s.m.panics.Value(),
+			"cache_hit":  s.m.cacheHit.Value(),
+			"cache_miss": s.m.cacheMiss.Value(),
+		},
+	}
+	for _, ep := range endpoints {
+		h := s.m.seconds[ep]
+		lat := EndpointLatency{
+			Count:      h.Count(),
+			SumSeconds: h.Sum(),
+			Quantiles:  make(map[string]float64, len(SnapshotQuantiles)),
+		}
+		for name, q := range SnapshotQuantiles {
+			lat.Quantiles[name] = h.Quantile(q)
+		}
+		snap.Endpoints[ep] = lat
+	}
+	return snap
+}
+
+// WriteLatencySnapshot persists the snapshot as indented JSON with
+// sorted keys — committable and diffable.
+func (s *Server) WriteLatencySnapshot(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s.LatencySnapshot()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// SortedEndpoints returns the instrumented endpoint names in stable
+// order, the iteration order snapshot consumers should use.
+func SortedEndpoints(snap LatencySnapshot) []string {
+	names := make([]string, 0, len(snap.Endpoints))
+	for ep := range snap.Endpoints {
+		names = append(names, ep)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -7,6 +7,8 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"gebe/internal/budget"
@@ -15,12 +17,18 @@ import (
 
 // The request lifecycle layer wraps the routing mux. Ordering matters:
 //
-//	recover → in-flight gauge → load shedding → deadline stamp → mux
+//	recover → in-flight gauge → load shedding → tracing → deadline stamp → mux
 //
 // Recovery sits outermost so a panic anywhere below (shedding and
 // instrumentation included) still yields a well-formed 500 and a
 // released semaphore slot. Shedding sits above deadline stamping so a
-// shed request costs two channel operations and no clock reads.
+// shed request costs two channel operations and no clock reads — and
+// above tracing, so shedding stays allocation-free: a shed request
+// never mints a request id or a trace (its access-log line is emitted
+// from the shed branch itself). /v1/healthz and the /debug/ diagnostic
+// routes bypass both the limiter and tracing: liveness probes must
+// answer and diagnostics must be reachable precisely when the server is
+// drowning.
 
 // deadlineKey carries the request's absolute compute deadline through
 // the context; handlers thread it into budget.Exceeded checks at tile
@@ -50,7 +58,13 @@ func (s *Server) checkpoint(r *http.Request) func() error {
 
 // lifecycle wraps the routed mux in the outer layers.
 func (s *Server) lifecycle(next http.Handler) http.Handler {
-	return s.recovered(s.counted(s.limited(s.stamped(next))))
+	return s.recovered(s.counted(s.limited(s.traced(s.stamped(next)))))
+}
+
+// bypassed reports whether the request skips load shedding and request
+// tracing: liveness probes and the diagnostic surface itself.
+func bypassed(path string) bool {
+	return path == "/v1/healthz" || strings.HasPrefix(path, "/debug/")
 }
 
 // recovered converts handler panics into JSON 500s. A panicking scoring
@@ -91,7 +105,7 @@ func (s *Server) limited(next http.Handler) http.Handler {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/v1/healthz" {
+		if bypassed(r.URL.Path) {
 			next.ServeHTTP(w, r)
 			return
 		}
@@ -105,8 +119,126 @@ func (s *Server) limited(next http.Handler) http.Handler {
 			w.Header().Set("Retry-After", "1")
 			s.fail(w, http.StatusTooManyRequests,
 				fmt.Errorf("server at capacity (%d in flight)", s.cfg.MaxInflight))
+			// Shed requests never reach the tracing layer, so their access
+			// line is emitted here: no id (nothing retained to look up), no
+			// bytes counting, cause "shed". Enabled gates the allocation.
+			if s.cfg.Log.Enabled(obs.LevelInfo) {
+				s.logAccess("", endpointName(r), http.StatusTooManyRequests, 0, 0, "shed")
+			}
 		}
 	})
+}
+
+// traced is the request-scoped diagnostics layer: it mints or
+// propagates X-Request-ID, opens the per-request obs.Trace carried down
+// through the context (handlers and eval.Scorer hang their spans off
+// it), counts response bytes through statusRecorder, emits one
+// structured access-log line per request, and offers the finished trace
+// to the tail-sampling TraceLog. Bypassed routes (healthz, /debug/) pay
+// nothing but the path check.
+func (s *Server) traced(next http.Handler) http.Handler {
+	if s.tlog == nil && s.cfg.Log == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if bypassed(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		t0 := time.Now()
+		id := s.requestID(r)
+		ep := endpointName(r)
+		var tr *obs.Trace
+		req := r
+		if s.tlog != nil {
+			tr = obs.NewTrace(ep)
+			req = r.WithContext(obs.ContextWithTrace(r.Context(), tr))
+		}
+		w.Header().Set("X-Request-ID", id)
+		rec := &statusRecorder{ResponseWriter: w}
+		// The epilogue runs deferred so a panicking handler still leaves an
+		// access line and an (errored, thus retained) trace behind before
+		// the recovery layer writes its 500.
+		panicked := true
+		defer func() {
+			status := rec.code
+			if status == 0 {
+				status = http.StatusOK
+			}
+			cause := ""
+			switch {
+			case panicked:
+				status, cause = http.StatusInternalServerError, "panic"
+			case status == http.StatusServiceUnavailable:
+				cause = "deadline"
+			case status >= 500:
+				cause = "error"
+			}
+			elapsed := time.Since(t0)
+			if s.cfg.Log.Enabled(obs.LevelInfo) {
+				s.logAccess(id, ep, status, rec.bytes, elapsed, cause)
+			}
+			if tr != nil {
+				s.tlog.Add(obs.TraceEntry{
+					ID: id, Name: ep, Status: status, Bytes: rec.bytes,
+					Start: t0, Elapsed: elapsed, Cause: cause, Trace: tr.Root(),
+				})
+			}
+		}()
+		next.ServeHTTP(rec, req)
+		panicked = false
+	})
+}
+
+// logAccess emits the structured access-log line: one slog record per
+// request with the fields an operator greps for first.
+func (s *Server) logAccess(id, endpoint string, status int, bytes int64, elapsed time.Duration, cause string) {
+	args := []any{
+		"id", id, "endpoint", endpoint, "status", status,
+		"bytes", bytes, "elapsed", elapsed,
+	}
+	if cause != "" {
+		args = append(args, "cause", cause)
+	}
+	s.cfg.Log.Info("serve: access", args...)
+}
+
+// requestID returns the client-supplied X-Request-ID when it is sane
+// (non-empty, bounded, printable ASCII) so upstream correlation ids
+// survive, and mints a process-unique id otherwise.
+func (s *Server) requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-ID"); id != "" && len(id) <= 64 && printableASCII(id) {
+		return id
+	}
+	return s.ridPrefix + strconv.FormatUint(s.rid.Add(1), 10)
+}
+
+func printableASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] <= ' ' || s[i] > '~' {
+			return false
+		}
+	}
+	return true
+}
+
+// endpointName maps a request path to the instrumented endpoint label;
+// unrouted paths share one bucket so an URL-shaped attack cannot mint
+// unbounded label values.
+func endpointName(r *http.Request) string {
+	switch r.URL.Path {
+	case "/v1/recommend":
+		return "recommend"
+	case "/v1/similar":
+		return "similar"
+	case "/v1/score":
+		return "score"
+	case "/v1/healthz":
+		return "healthz"
+	case "/v1/info":
+		return "info"
+	}
+	return "other"
 }
 
 // stamped derives the request's absolute compute deadline from the
@@ -125,10 +257,17 @@ func (s *Server) stamped(next http.Handler) http.Handler {
 	})
 }
 
-// statusRecorder captures the response code for instrumentation.
+// statusRecorder captures the response code and byte count for
+// instrumentation and the access log. Wrapping an http.ResponseWriter
+// hides its optional interfaces, so the ones the serve surface can
+// meaningfully honor are forwarded explicitly: Flush for callers
+// streaming partial responses. (Hijack and ReadFrom are deliberately
+// not forwarded — no JSON endpoint upgrades connections, and losing
+// the sendfile fast path is irrelevant for encoder-driven bodies.)
 type statusRecorder struct {
 	http.ResponseWriter
-	code int
+	code  int
+	bytes int64
 }
 
 func (w *statusRecorder) WriteHeader(code int) {
@@ -140,24 +279,38 @@ func (w *statusRecorder) Write(b []byte) (int, error) {
 	if w.code == 0 {
 		w.code = http.StatusOK
 	}
-	return w.ResponseWriter.Write(b)
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
 }
 
-// instrument wraps one endpoint with its latency histogram, the
-// per-endpoint status-code counters, and debug logging.
+// Flush forwards to the underlying writer's Flusher, restoring the
+// optional interface the embedding hid.
+func (w *statusRecorder) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps one endpoint with its latency histogram and the
+// per-endpoint status-code counters. The tracing layer above usually
+// wraps the writer already; its recorder is reused rather than stacked
+// so bytes are counted once.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.Handler {
 	hist := s.m.seconds[name]
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
-		rec := &statusRecorder{ResponseWriter: w}
+		rec, ok := w.(*statusRecorder)
+		if !ok {
+			rec = &statusRecorder{ResponseWriter: w}
+		}
 		h(rec, r)
-		if rec.code == 0 {
-			rec.code = http.StatusOK
+		code := rec.code
+		if code == 0 {
+			code = http.StatusOK
 		}
 		hist.ObserveSince(t0)
-		s.m.status.With(fmt.Sprintf("%s_%d", name, rec.code)).Inc()
-		s.cfg.Log.Debug("serve: request",
-			"endpoint", name, "status", rec.code, "elapsed", time.Since(t0))
+		s.m.status.With(fmt.Sprintf("%s_%d", name, code)).Inc()
 	})
 }
 

@@ -13,6 +13,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"gebe/internal/obs"
 )
 
 // blockingHandler answers 200 after release closes, reporting each
@@ -241,5 +243,118 @@ func TestConcurrentLoad(t *testing.T) {
 	total += reg.Counter("serve_shed_total", "").Value()
 	if want := float64(statuses[200] + statuses[429]); total != want {
 		t.Errorf("status counters sum to %v, want %v (statuses %v)", total, want, statuses)
+	}
+}
+
+// discardWriter is a zero-allocation ResponseWriter for alloc-count
+// tests: the header map is preallocated and bodies vanish.
+type discardWriter struct{ h http.Header }
+
+func (d *discardWriter) Header() http.Header         { return d.h }
+func (d *discardWriter) Write(b []byte) (int, error) { return len(b), nil }
+func (d *discardWriter) WriteHeader(int)             {}
+
+// TestStatusRecorderForwardsFlushAndCountsBytes pins the satellite fix:
+// wrapping the ResponseWriter must not lose http.Flusher, and the
+// recorder reports how many body bytes the handler wrote (the access
+// log's bytes field).
+func TestStatusRecorderForwardsFlushAndCountsBytes(t *testing.T) {
+	under := httptest.NewRecorder()
+	rec := &statusRecorder{ResponseWriter: under}
+
+	// The wrapper must satisfy Flusher statically and forward dynamically.
+	var flusher http.Flusher = rec
+	flusher.Flush()
+	if !under.Flushed {
+		t.Error("Flush not forwarded to the underlying writer")
+	}
+
+	n, err := rec.Write([]byte("hello "))
+	if n != 6 || err != nil {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	rec.Write([]byte("world"))
+	if rec.bytes != 11 {
+		t.Errorf("bytes = %d, want 11", rec.bytes)
+	}
+	if rec.code != http.StatusOK {
+		t.Errorf("implicit code = %d, want 200", rec.code)
+	}
+	// Flushing a non-Flusher base must not panic.
+	(&statusRecorder{ResponseWriter: &discardWriter{h: make(http.Header)}}).Flush()
+}
+
+// TestHealthzTracingAllocFree guards the liveness fast path: with
+// request tracing fully enabled, a /v1/healthz request must pass the
+// tracing layer without a single allocation — no id mint, no trace, no
+// recorder.
+func TestHealthzTracingAllocFree(t *testing.T) {
+	s, _ := newTestServer(t, Config{TraceRequests: 64})
+	h := s.traced(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+	req := httptest.NewRequest("GET", "/v1/healthz", nil)
+	w := &discardWriter{h: make(http.Header)}
+	if allocs := testing.AllocsPerRun(200, func() { h.ServeHTTP(w, req) }); allocs != 0 {
+		t.Errorf("healthz through tracing layer allocates %.1f/op, want 0", allocs)
+	}
+	// Same for the diagnostics surface itself.
+	req = httptest.NewRequest("GET", "/debug/requests", nil)
+	if allocs := testing.AllocsPerRun(200, func() { h.ServeHTTP(w, req) }); allocs != 0 {
+		t.Errorf("/debug through tracing layer allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestShedTracingAllocFree guards the shed fast path: enabling request
+// tracing must add zero allocations to a shed request — shedding
+// happens above the tracing layer, so a 429 never mints an id or a
+// trace.
+func TestShedTracingAllocFree(t *testing.T) {
+	shedAllocs := func(traceRequests int) float64 {
+		s, _ := newTestServer(t, Config{MaxInflight: 1, TraceRequests: traceRequests})
+		s.limiter <- struct{}{} // saturate so every request sheds
+		h := s.lifecycle(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+			panic("shed request must not reach the handler")
+		}))
+		req := httptest.NewRequest("POST", "/v1/recommend", nil)
+		w := &discardWriter{h: make(http.Header)}
+		return testing.AllocsPerRun(200, func() { h.ServeHTTP(w, req) })
+	}
+	traced, untraced := shedAllocs(64), shedAllocs(0)
+	if traced != untraced {
+		t.Errorf("tracing adds allocations to the shed path: %.1f/op with tracing, %.1f/op without",
+			traced, untraced)
+	}
+}
+
+// BenchmarkHealthzFastPath and BenchmarkShedFastPath are the
+// observable form of the alloc guards: run with -benchmem, both must
+// report the tracing layer adding 0 allocs/op.
+func BenchmarkHealthzFastPath(b *testing.B) {
+	emb, g := testEmbedding(b)
+	s, err := New(emb, g, Config{TraceRequests: 64, Metrics: obs.NewRegistry()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := s.traced(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+	req := httptest.NewRequest("GET", "/v1/healthz", nil)
+	w := &discardWriter{h: make(http.Header)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ServeHTTP(w, req)
+	}
+}
+
+func BenchmarkShedFastPath(b *testing.B) {
+	emb, g := testEmbedding(b)
+	s, err := New(emb, g, Config{MaxInflight: 1, TraceRequests: 64, Metrics: obs.NewRegistry()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.limiter <- struct{}{}
+	h := s.lifecycle(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+	req := httptest.NewRequest("POST", "/v1/recommend", nil)
+	w := &discardWriter{h: make(http.Header)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ServeHTTP(w, req)
 	}
 }

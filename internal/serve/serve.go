@@ -21,6 +21,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gebe/internal/bigraph"
@@ -45,6 +46,11 @@ type Config struct {
 	MaxInflight int
 	// CacheSize bounds the recommend LRU in entries; 0 disables caching.
 	CacheSize int
+	// TraceRequests enables request-scoped tracing and sets the
+	// tail-sampling retention: the N slowest and the N most recent
+	// errored request traces stay retrievable by X-Request-ID at
+	// /debug/requests/{id}. 0 disables tracing and those endpoints.
+	TraceRequests int
 	// DefaultN is the list length used when a request omits n (default 10).
 	DefaultN int
 	// MaxN caps the requested list length (default 1000).
@@ -82,6 +88,13 @@ type Server struct {
 
 	cache   *lruCache
 	limiter chan struct{} // nil = unlimited
+
+	// Request-scoped diagnostics: the tail-sampling trace retention ring
+	// (nil when disabled) and the request-id mint (a per-process prefix
+	// plus an atomic counter, so ids are unique and cheap).
+	tlog      *obs.TraceLog
+	ridPrefix string
+	rid       atomic.Uint64
 
 	m serveMetrics
 }
@@ -122,6 +135,8 @@ func New(emb *core.Embedding, train *bigraph.Graph, cfg Config) (*Server, error)
 		cfg.Metrics = obs.DefaultRegistry()
 	}
 	s := &Server{cfg: cfg, emb: emb, start: time.Now(), cache: newLRU(cfg.CacheSize)}
+	s.tlog = obs.NewTraceLog(cfg.TraceRequests)
+	s.ridPrefix = fmt.Sprintf("%08x-", uint32(time.Now().UnixNano()))
 	if train != nil {
 		if train.NU > emb.U.Rows || train.NV > emb.V.Rows {
 			return nil, fmt.Errorf("serve: training graph is %dx%d but embedding covers %dx%d",
@@ -182,7 +197,9 @@ type scoredItem struct {
 
 // Handler returns the full serving surface: the five /v1 routes wrapped
 // in the lifecycle layer (recovery → in-flight accounting → load
-// shedding → deadline injection → per-endpoint instrumentation).
+// shedding → request tracing → deadline injection → per-endpoint
+// instrumentation), plus — when request tracing is on — the
+// /debug/requests diagnostic routes over the trace retention ring.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("POST /v1/recommend", s.instrument("recommend", s.handleRecommend))
@@ -190,6 +207,10 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /v1/score", s.instrument("score", s.handleScore))
 	mux.Handle("GET /v1/healthz", s.instrument("healthz", s.handleHealthz))
 	mux.Handle("GET /v1/info", s.instrument("info", s.handleInfo))
+	if s.tlog != nil {
+		mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
+		mux.HandleFunc("GET /debug/requests/{id}", s.handleDebugRequest)
+	}
 	return s.lifecycle(mux)
 }
 
@@ -261,10 +282,13 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	tr := obs.FromContext(r.Context())
+
 	resp := recommendResponse{N: n, Results: make([]userRecommendation, len(users))}
 	// Serve cache hits first, then score the misses in one batched pass.
 	var missUsers []int
 	var missSlots []int
+	cacheSp := tr.StartSpan("cache")
 	for i, u := range users {
 		key := cacheKey(u, n, mask)
 		if items, ok := s.cache.get(key); ok {
@@ -278,11 +302,19 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		missUsers = append(missUsers, u)
 		missSlots = append(missSlots, i)
 	}
+	cacheSp.Set("batch", len(users)).Set("misses", len(missUsers)).End()
 	if len(missUsers) > 0 {
 		sc := s.recScorers.Get().(*eval.Scorer)
 		defer s.recScorers.Put(sc)
+		scoreSp := tr.StartSpan("score").
+			Set("users", len(missUsers)).
+			Set("tiles", (len(missUsers)+eval.TileUsers-1)/eval.TileUsers)
 		mi := 0
-		err := sc.Score(missUsers, s.checkpoint(r), func(u int, scores []float64) {
+		err := sc.ScoreCtx(r.Context(), missUsers, s.checkpoint(r), func(u int, scores []float64) {
+			// The rank span covers training-edge masking plus top-N
+			// selection; it nests under "score" beside the scorer's
+			// per-tile "score.tile" spans.
+			rankSp := tr.StartSpan("rank").Set("user", u).Set("masked", mask)
 			var skip map[int]bool
 			if mask {
 				skip = s.trainItems[u]
@@ -295,13 +327,17 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 			s.cache.add(cacheKey(u, n, mask), items)
 			resp.Results[missSlots[mi]] = userRecommendation{User: u, Items: items}
 			mi++
+			rankSp.End()
 		})
+		scoreSp.End()
 		if err != nil {
 			s.failBudget(w, err)
 			return
 		}
 	}
+	encodeSp := tr.StartSpan("encode")
 	s.writeJSON(w, http.StatusOK, resp)
+	encodeSp.End()
 }
 
 func cacheKey(user, n int, mask bool) string {
@@ -357,10 +393,13 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	tr := obs.FromContext(r.Context())
 	sc := pool.Get().(*eval.Scorer)
 	defer pool.Put(sc)
 	resp := similarResponse{Side: side, ID: id}
-	err = sc.Score([]int{id}, s.checkpoint(r), func(_ int, scores []float64) {
+	scoreSp := tr.StartSpan("score").Set("side", side).Set("n", n)
+	err = sc.ScoreCtx(r.Context(), []int{id}, s.checkpoint(r), func(_ int, scores []float64) {
+		rankSp := tr.StartSpan("rank")
 		for j := range scores {
 			if d := norms[id] * norms[j]; d > 0 {
 				scores[j] /= d
@@ -373,12 +412,16 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 		for j, nid := range ids {
 			resp.Neighbors[j] = scoredItem{Item: nid, Score: scores[nid]}
 		}
+		rankSp.End()
 	})
+	scoreSp.End()
 	if err != nil {
 		s.failBudget(w, err)
 		return
 	}
+	encodeSp := tr.StartSpan("encode")
 	s.writeJSON(w, http.StatusOK, resp)
+	encodeSp.End()
 }
 
 // --- /v1/score -----------------------------------------------------
@@ -406,23 +449,30 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("batch of %d pairs exceeds limit %d", len(req.Pairs), s.cfg.MaxBatch))
 		return
 	}
+	tr := obs.FromContext(r.Context())
 	check := s.checkpoint(r)
 	out := scoreResponse{Scores: make([]float64, len(req.Pairs))}
+	scoreSp := tr.StartSpan("score").Set("pairs", len(req.Pairs))
 	for i, p := range req.Pairs {
 		if i%1024 == 0 && check != nil {
 			if err := check(); err != nil {
+				scoreSp.End()
 				s.failBudget(w, err)
 				return
 			}
 		}
 		u, v := p[0], p[1]
 		if u < 0 || u >= s.emb.U.Rows || v < 0 || v >= s.emb.V.Rows {
+			scoreSp.End()
 			s.fail(w, http.StatusBadRequest, fmt.Errorf("pair %d: (%d,%d) outside %dx%d", i, u, v, s.emb.U.Rows, s.emb.V.Rows))
 			return
 		}
 		out.Scores[i] = s.emb.Score(u, v)
 	}
+	scoreSp.End()
+	encodeSp := tr.StartSpan("encode")
 	s.writeJSON(w, http.StatusOK, out)
+	encodeSp.End()
 }
 
 // --- /v1/healthz and /v1/info --------------------------------------
@@ -436,9 +486,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 // handleInfo reports the embedding header plus the solver diagnostics
 // the TSV #meta lines carry — the ops-facing identity of what this
-// process is serving.
+// process is serving — and the binary's build provenance, so a trace or
+// latency snapshot pulled from this process is attributable to the
+// exact commit and toolchain serving it.
 func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]any{
+		"build":        obs.BuildInfo(),
 		"method":       s.emb.Method,
 		"users":        s.emb.U.Rows,
 		"items":        s.emb.V.Rows,
@@ -452,8 +505,9 @@ func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
 		"train_edges":  s.trainEdges,
 		"cache_size":   s.cfg.CacheSize,
 		"cache_len":    s.cache.len(),
-		"max_inflight": s.cfg.MaxInflight,
-		"deadline_ms":  s.cfg.Deadline.Milliseconds(),
+		"max_inflight":   s.cfg.MaxInflight,
+		"deadline_ms":    s.cfg.Deadline.Milliseconds(),
+		"trace_requests": s.tlog.Cap(),
 	})
 }
 

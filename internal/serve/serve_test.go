@@ -21,7 +21,7 @@ import (
 
 // testEmbedding builds a small deterministic embedding plus a training
 // graph whose edges give a few users non-empty exclusion sets.
-func testEmbedding(t *testing.T) (*core.Embedding, *bigraph.Graph) {
+func testEmbedding(t testing.TB) (*core.Embedding, *bigraph.Graph) {
 	t.Helper()
 	rng := rand.New(rand.NewPCG(42, 0))
 	emb := &core.Embedding{
