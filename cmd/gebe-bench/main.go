@@ -9,6 +9,7 @@
 //	gebe-bench -exp fig3              # scalability on ER graphs (Figure 3)
 //	gebe-bench -exp fig4              # parameter sweeps, recommendation (Figure 4)
 //	gebe-bench -exp fig5              # parameter sweeps, link prediction (Figure 5)
+//	gebe-bench -exp incremental       # warm-start vs cold retrain on a grown graph
 //	gebe-bench -exp all
 //	gebe-bench -kernels -json results/  # SpMM microbench → results/BENCH_SPMM.json
 //	gebe-bench -dense -json results/    # dense GEMM/QR microbench → results/BENCH_DENSE.json
@@ -48,7 +49,7 @@ type benchResult struct {
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment: table4|table5|fig2|fig3|fig4|fig5|tablen|ablation|all")
+		exp         = flag.String("exp", "all", "experiment: table4|table5|fig2|fig3|fig4|fig5|tablen|ablation|incremental|all")
 		k           = flag.Int("k", 32, "embedding dimensionality")
 		seed        = flag.Uint64("seed", 1, "random seed")
 		threads     = flag.Int("threads", 1, "solver threads (paper uses 1)")
@@ -145,9 +146,10 @@ func main() {
 	run("fig5", func(c experiments.Config) (any, error) { return experiments.Fig5(c) })
 	run("tablen", func(c experiments.Config) (any, error) { return experiments.TableN(c, nil) })
 	run("ablation", func(c experiments.Config) (any, error) { return experiments.Ablations(c) })
+	run("incremental", func(c experiments.Config) (any, error) { return experiments.Incremental(c) })
 
 	switch *exp {
-	case "table4", "table5", "fig2", "fig3", "fig4", "fig5", "tablen", "ablation", "all":
+	case "table4", "table5", "fig2", "fig3", "fig4", "fig5", "tablen", "ablation", "incremental", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "gebe-bench: unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -162,7 +164,7 @@ func main() {
 }
 
 // extensions are the appendix experiments "-exp all" skips.
-var extensions = map[string]bool{"tablen": true, "ablation": true}
+var extensions = map[string]bool{"tablen": true, "ablation": true, "incremental": true}
 
 // writeReport writes the -json results: BENCH_<exp>.json per experiment
 // when path is an existing directory, otherwise a single file holding

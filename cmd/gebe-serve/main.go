@@ -9,9 +9,12 @@
 //	gebe-serve -emb emb.tsv -train train.tsv -max-inflight 64 -deadline 250ms -cache 4096
 //
 // Endpoints (JSON): POST /v1/recommend, GET /v1/similar, POST /v1/score,
-// GET /v1/healthz, GET /v1/info. Requests beyond -max-inflight are shed
-// with 429 + Retry-After; requests that blow -deadline get 503; SIGINT/
-// SIGTERM drains in-flight requests before exiting. Metrics (request
+// GET /v1/healthz, GET /v1/info, POST /v1/reload. Requests beyond
+// -max-inflight are shed with 429 + Retry-After; requests that blow
+// -deadline get 503; SIGINT/SIGTERM drains in-flight requests before
+// exiting. POST /v1/reload (gated by -admin-token) and SIGHUP both
+// re-read -emb/-train and hot-swap the served model without dropping
+// in-flight requests. Metrics (request
 // histograms, shed/cache counters, runtime stats) appear on the
 // -debug-addr mux. Every non-bypass request answers with an
 // X-Request-ID; the -trace-requests slowest/errored span trees are
@@ -49,6 +52,7 @@ func main() {
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 		traceReqs   = flag.Int("trace-requests", 64, "retained request traces on /debug/requests (0 = disabled)")
 		latencyOut  = flag.String("latency-out", "", "write a latency snapshot (SERVE_LATENCY.json) here on clean exit")
+		adminToken  = flag.String("admin-token", "", "X-Admin-Token required by POST /v1/reload (empty = open)")
 	)
 	cli := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -81,6 +85,22 @@ func main() {
 			fail(err)
 		}
 	}
+	// The reload loader re-reads the same paths the process started from:
+	// retrain offline, overwrite -emb (and -train), then POST /v1/reload
+	// or send SIGHUP to hot-swap without restarting.
+	reload := func() (*gebe.Embedding, *gebe.Graph, error) {
+		e, err := gebe.LoadEmbedding(*embP)
+		if err != nil {
+			return nil, nil, err
+		}
+		var tg *gebe.Graph
+		if *trainP != "" {
+			if tg, err = gebe.LoadGraph(*trainP); err != nil {
+				return nil, nil, err
+			}
+		}
+		return e, tg, nil
+	}
 	srv, err := serve.New(emb, train, serve.Config{
 		Deadline:      *ddl,
 		MaxInflight:   *maxInflight,
@@ -89,10 +109,26 @@ func main() {
 		TraceRequests: *traceReqs,
 		Metrics:       obs.DefaultRegistry(),
 		Log:           obs.Default(),
+		Reload:        reload,
+		AdminToken:    *adminToken,
 	})
 	if err != nil {
 		fail(err)
 	}
+
+	// SIGHUP is the operational reload path for process managers that
+	// can't speak HTTP (systemd's ExecReload, logrotate-style hooks).
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if v, err := srv.Reload(); err != nil {
+				obs.Default().Warn("serve: SIGHUP reload failed", "err", err)
+			} else {
+				obs.Default().Info("serve: SIGHUP reload complete", "model_version", v)
+			}
+		}
+	}()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -39,6 +39,7 @@ func main() {
 		threads = flag.Int("threads", 1, "solver threads")
 		noScale = flag.Bool("noscale", false, "disable spectral scaling of W")
 		ddl     = flag.Duration("deadline", 0, "cooperative wall-clock budget for the solver (0 = unlimited)")
+		warm    = flag.String("warm", "", "previous embedding file to warm-start the solve from (GEBE/GEBEP/MHP/MHS)")
 	)
 	cli := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -68,6 +69,15 @@ func main() {
 	}
 	if *ddl > 0 {
 		opt.Deadline = time.Now().Add(*ddl)
+	}
+	if *warm != "" {
+		prev, err := gebe.LoadEmbedding(*warm)
+		if err != nil {
+			fail(err)
+		}
+		opt.WarmStart = prev
+		fmt.Fprintf(os.Stderr, "warm-starting from %s (%s, %dx%d / %dx%d)\n",
+			*warm, prev.Method, prev.U.Rows, prev.U.Cols, prev.V.Rows, prev.V.Cols)
 	}
 	start := time.Now()
 	var emb *gebe.Embedding

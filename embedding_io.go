@@ -72,6 +72,11 @@ func writeMeta(bw *bufio.Writer, e *Embedding) error {
 	if _, err := fmt.Fprintf(bw, "#meta converged %t\n", e.Converged); err != nil {
 		return err
 	}
+	if e.WarmStarted {
+		if _, err := fmt.Fprintf(bw, "#meta warm_start true\n"); err != nil {
+			return err
+		}
+	}
 	if e.StopReason != "" {
 		if _, err := fmt.Fprintf(bw, "#meta stop_reason %s\n", e.StopReason); err != nil {
 			return err
@@ -128,6 +133,12 @@ func parseMeta(e *core.Embedding, fields []string, line int) error {
 			return bad(vals[0])
 		}
 		e.Converged = b
+	case "warm_start":
+		b, err := strconv.ParseBool(vals[0])
+		if err != nil {
+			return bad(vals[0])
+		}
+		e.WarmStarted = b
 	case "stop_reason":
 		e.StopReason = vals[0]
 	case "values":

@@ -162,6 +162,7 @@ func TestEmbeddingMetaRoundTrip(t *testing.T) {
 	e.SweepsSaved = 158
 	e.Converged = true
 	e.StopReason = "stagnated"
+	e.WarmStarted = true
 	e.Values = []float64{0.123456789012345678, 3.0000000001e-7, 0}
 
 	var sb strings.Builder
@@ -173,7 +174,7 @@ func TestEmbeddingMetaRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	if e2.SigmaScale != e.SigmaScale || e2.Sweeps != e.Sweeps || e2.SweepsSaved != e.SweepsSaved ||
-		e2.Converged != e.Converged || e2.StopReason != e.StopReason {
+		e2.Converged != e.Converged || e2.StopReason != e.StopReason || e2.WarmStarted != e.WarmStarted {
 		t.Errorf("meta changed: %+v", e2)
 	}
 	if len(e2.Values) != len(e.Values) {

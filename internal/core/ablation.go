@@ -80,6 +80,7 @@ func MHPBNE(g *bigraph.Graph, opt Options) (*Embedding, error) {
 		Converged:   res.Converged,
 		StopReason:  string(res.StopReason),
 		SigmaScale:  sigma,
+		WarmStarted: opt.WarmStart != nil,
 	}, nil
 }
 
@@ -101,9 +102,10 @@ func MHSBNE(g *bigraph.Graph, opt Options) (*Embedding, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: MHS-BNE: %w", err)
 	}
-	factorSide := func(h hOperator, seed uint64) (*dense.Matrix, linalg.KSIResult) {
+	factorSide := func(h hOperator, seed uint64, init *dense.Matrix) (*dense.Matrix, linalg.KSIResult) {
 		cfg := opt.ksiConfig(run)
 		cfg.Seed = seed
+		cfg.InitQ = init // per-side warm basis: U rows left, V rows right
 		res := linalg.KSIRun(h, cfg)
 		if res.DeadlineHit {
 			return nil, res
@@ -123,11 +125,15 @@ func MHSBNE(g *bigraph.Graph, opt Options) (*Embedding, error) {
 	}
 	hu := hOperator{w: w, omega: opt.PMF, tau: opt.Tau, spmm: opt.spmm()}
 	hv := hOperator{w: w.T(), omega: opt.PMF, tau: opt.Tau, spmm: opt.spmm()}
-	x, resU := factorSide(hu, opt.Seed)
+	var warmU, warmV *dense.Matrix
+	if opt.WarmStart != nil {
+		warmU, warmV = opt.WarmStart.U, opt.WarmStart.V
+	}
+	x, resU := factorSide(hu, opt.Seed, warmU)
 	if resU.DeadlineHit {
 		return nil, fmt.Errorf("core: MHS-BNE: %w", budget.ErrExceeded)
 	}
-	y, resV := factorSide(hv, opt.Seed+1)
+	y, resV := factorSide(hv, opt.Seed+1, warmV)
 	if resV.DeadlineHit {
 		return nil, fmt.Errorf("core: MHS-BNE: %w", budget.ErrExceeded)
 	}
@@ -145,6 +151,7 @@ func MHSBNE(g *bigraph.Graph, opt Options) (*Embedding, error) {
 		Converged:   resU.Converged && resV.Converged,
 		StopReason:  stop,
 		SigmaScale:  sigma,
+		WarmStarted: opt.WarmStart != nil,
 	}, nil
 }
 

@@ -81,7 +81,8 @@ func GEBE(g *bigraph.Graph, opt Options) (*Embedding, error) {
 	start := time.Now()
 	method := "gebe-" + opt.PMF.Name()
 	run.Logger().Info("gebe: start", "method", method, "nu", g.NU, "nv", g.NV,
-		"edges", g.NumEdges(), "k", opt.K, "tau", opt.Tau, "iters", opt.Iters, "tol", opt.Tol)
+		"edges", g.NumEdges(), "k", opt.K, "tau", opt.Tau, "iters", opt.Iters, "tol", opt.Tol,
+		"warm_start", opt.WarmStart != nil)
 	root := run.Span("gebe")
 	w, sigma, err := scaledWeightMatrix(g, opt, run)
 	if err != nil {
@@ -117,18 +118,26 @@ func GEBE(g *bigraph.Graph, opt Options) (*Embedding, error) {
 		Converged:   res.Converged,
 		StopReason:  string(res.StopReason),
 		SigmaScale:  sigma,
+		WarmStarted: opt.WarmStart != nil,
 	}, nil
 }
 
 // ksiConfig maps the option fields shared by every KSI-based solver onto
-// one linalg.KSIConfig, with the given seed defaulting to opt.Seed.
+// one linalg.KSIConfig, with the given seed defaulting to opt.Seed. A
+// WarmStart embedding seeds the starting block from its U rows (U = Z√Λ
+// spans the previous eigenbasis; the block is re-orthonormalized, so the
+// √Λ column scaling is irrelevant).
 func (o Options) ksiConfig(run *obs.Run) linalg.KSIConfig {
-	return linalg.KSIConfig{
+	cfg := linalg.KSIConfig{
 		K: o.K, Sweeps: o.Iters, Tol: o.Tol, Seed: o.Seed,
 		Deadline: o.Deadline, Dense: o.dn(),
 		Window: o.StopWindow, Flatness: o.StopFlatness, NoAdaptive: o.NoAdaptiveStop,
 		Obs: run,
 	}
+	if o.WarmStart != nil {
+		cfg.InitQ = o.WarmStart.U
+	}
+	return cfg
 }
 
 // finishRun records the run-level counters every solver shares.

@@ -38,11 +38,16 @@ func GEBEP(g *bigraph.Graph, opt Options) (*Embedding, error) {
 		run.Logger().Warn("gebep: deadline exceeded", "phase", "sigma1")
 		return nil, fmt.Errorf("core: GEBEP: %w", err)
 	}
-	rsvd := run.Span("rsvd")
-	svd := linalg.RandomizedSVDRun(w, linalg.SVDConfig{
+	svdCfg := linalg.SVDConfig{
 		K: opt.K, Eps: opt.Epsilon, Seed: opt.Seed, Threads: opt.Threads,
 		SpMM: opt.SpMM, Dense: opt.dn(), Deadline: opt.Deadline, Obs: run,
-	})
+	}
+	if opt.WarmStart != nil {
+		svdCfg.InitU = opt.WarmStart.U
+		svdCfg.InitV = opt.WarmStart.V
+	}
+	rsvd := run.Span("rsvd")
+	svd := linalg.RandomizedSVDRun(w, svdCfg)
 	rsvd.Set("krylov_dim", svd.KrylovDim).Set("iterations", svd.Iterations).Set("deadline_hit", svd.DeadlineHit)
 	rsvd.End()
 	if svd.DeadlineHit {
@@ -72,8 +77,9 @@ func GEBEP(g *bigraph.Graph, opt Options) (*Embedding, error) {
 		Values:     vals,
 		Method:     "gebep",
 		Sweeps:     0,
-		Converged:  true,
-		StopReason: string(linalg.StopConverged),
-		SigmaScale: sigma,
+		Converged:   true,
+		StopReason:  string(linalg.StopConverged),
+		SigmaScale:  sigma,
+		WarmStarted: opt.WarmStart != nil,
 	}, nil
 }

@@ -66,6 +66,18 @@ type Options struct {
 	// NoAdaptiveStop disables the adaptive KSI stopping controller,
 	// restoring the fixed Iters/Tol/Deadline stopping behavior.
 	NoAdaptiveStop bool
+	// WarmStart, when non-nil, seeds the iterative solver from a previous
+	// embedding of (a prior version of) the same graph instead of a random
+	// block: GEBE/MHP-BNE/MHS-BNE warm-start KSI from the embedding rows
+	// (U for the left side, V for MHS-BNE's right side), GEBE^p seeds its
+	// randomized-SVD block from U and V. Dimension changes are tolerated —
+	// new vertices and extra embedding columns are padded (see
+	// linalg/warmstart.go) — and any column scaling is irrelevant because
+	// the block is re-orthonormalized. On a mildly perturbed graph the
+	// adaptive stopping controller then converges in a handful of sweeps;
+	// the saving is reported in Embedding.SweepsSaved and a "warm_start"
+	// trace span. The embedding is only read.
+	WarmStart *Embedding
 	// NoScale disables the spectral scaling of W (division by σ₁). The
 	// scaling keeps e^{λσ²} finite for arbitrarily weighted graphs (see
 	// DESIGN.md §3.5); turn it off only for tiny hand-built graphs such as
@@ -171,6 +183,9 @@ func (o Options) validate(g *bigraph.Graph, needBothSides bool) error {
 	if o.StopFlatness < 0 || o.StopFlatness >= 1 {
 		return fmt.Errorf("core: StopFlatness must lie in [0,1), got %g", o.StopFlatness)
 	}
+	if o.WarmStart != nil && o.WarmStart.U == nil {
+		return fmt.Errorf("core: WarmStart embedding has no U matrix")
+	}
 	if err := o.SpMM.Validate(); err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
@@ -218,6 +233,10 @@ type Embedding struct {
 	StopReason string
 	// SigmaScale is the σ₁ estimate W was divided by (1 when unscaled).
 	SigmaScale float64
+	// WarmStarted reports that the solve was seeded from a previous
+	// embedding (Options.WarmStart), persisted as "#meta warm_start" so a
+	// written embedding records its provenance.
+	WarmStarted bool
 }
 
 // K returns the embedding dimensionality.

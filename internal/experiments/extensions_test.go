@@ -46,6 +46,42 @@ func itoa(n int) string {
 	return "10"
 }
 
+func TestIncrementalSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := fastCfg(&buf)
+	res, err := Incremental(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("want 3 rows, got %d", len(res.Rows))
+	}
+	byPhase := map[string]IncrementalRow{}
+	for _, r := range res.Rows {
+		byPhase[r.Phase] = r
+		if !r.Converged {
+			t.Errorf("%s did not converge (%s after %d sweeps)", r.Phase, r.StopReason, r.Sweeps)
+		}
+	}
+	if byPhase["cold_base"].WarmStart || byPhase["cold_full"].WarmStart {
+		t.Error("cold rows flagged warm")
+	}
+	warm := byPhase["warm_full"]
+	if !warm.WarmStart {
+		t.Error("warm row not flagged warm")
+	}
+	if !res.WarmFaster {
+		t.Errorf("warm_faster = false: cold %d sweeps, warm %d", res.ColdSweeps, res.WarmSweeps)
+	}
+	if warm.SweepsSaved <= byPhase["cold_full"].SweepsSaved {
+		t.Errorf("warm saved %d sweeps of budget, cold saved %d — warm must leave more unused",
+			warm.SweepsSaved, byPhase["cold_full"].SweepsSaved)
+	}
+	if !strings.Contains(buf.String(), "warm_faster=true") {
+		t.Errorf("output missing verdict:\n%s", buf.String())
+	}
+}
+
 func TestAblationsSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("ablations run several solver configurations")

@@ -197,6 +197,12 @@ type KSIConfig struct {
 	// NoAdaptive disables the early-exit controller: the sweep loop then
 	// runs until Tol, Deadline or the sweep budget, exactly as before.
 	NoAdaptive bool
+	// InitQ, when set, warm-starts the iteration from a previous basis
+	// instead of a Gaussian block (see warmstart.go): the overlap is
+	// carried, new columns get fresh random directions, new rows start at
+	// zero, and the block is re-orthonormalized. Any column scaling on the
+	// input is irrelevant. The matrix is read, never written.
+	InitQ *dense.Matrix
 	// Dense carries scheduling hints for the dense engine behind every
 	// per-sweep QR and block product (strategy, thread cap, parallelism
 	// gate); the zero value runs the sequential blocked defaults.
@@ -237,7 +243,7 @@ func KSIRun(op Operator, cfg KSIConfig) KSIResult {
 		ctrl = newDecayController(cfg.Window, cfg.Flatness, tol, t)
 	}
 	rng := NewRand(cfg.Seed)
-	sw := newKSISweep(op, dense.OrthonormalizeOpts(dense.Random(n, k, rng), cfg.Dense), cfg.Dense)
+	sw := newKSISweep(op, ksiStartBlock(cfg, n, k, rng, run), cfg.Dense)
 	res := KSIResult{StopReason: StopBudget}
 	for sweep := 1; sweep <= t; sweep++ {
 		sweepStart := time.Now()
@@ -379,6 +385,13 @@ type SVDConfig struct {
 	// zero never fires. On expiry the basis built so far (if any) is still
 	// projected and returned, with DeadlineHit set.
 	Deadline time.Time
+	// InitU / InitV, when set, warm-start the seed block from previous
+	// left / right singular-vector estimates (see warmstart.go): InitU
+	// columns are carried directly, InitV columns are mapped through W
+	// (W·v ≈ σ·u), and any remaining block columns come from W times a
+	// fresh Gaussian test matrix. Either may be nil; both are read-only.
+	InitU *dense.Matrix
+	InitV *dense.Matrix
 	// Obs receives per-block telemetry; nil runs silent.
 	Obs *obs.Run
 }
@@ -451,7 +464,6 @@ func RandomizedSVDRun(w *sparse.CSR, cfg SVDConfig) RSVDResult {
 		return res
 	}
 	rng := NewRand(seed)
-	g := dense.Random(w.Cols, b, rng)
 	// One QR workspace serves every blockwise orthonormalization and the
 	// global QR: across q+2 factorizations only the largest shape
 	// allocates. The returned Q is a view, so each block is consumed
@@ -459,7 +471,7 @@ func RandomizedSVDRun(w *sparse.CSR, cfg SVDConfig) RSVDResult {
 	var qrws dense.QRWork
 	sp := run.Span("rsvd.block")
 	blockStart := time.Now()
-	block := qrws.Orthonormalize(w.MulDenseOpts(g, tn), cfg.Dense)
+	block := qrws.Orthonormalize(rsvdSeedBlock(w, cfg, b, rng, tn, run), cfg.Dense)
 	sp.Set("block", 0).Set("of", q)
 	sp.End()
 	blocksTotal.Inc()

@@ -156,6 +156,12 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if total == 0 {
 		return 0
 	}
+	// NaN slips through both ordered comparisons below and would poison
+	// the rank arithmetic into a NaN estimate; treat it like an empty
+	// histogram instead of propagating it into JSON output.
+	if math.IsNaN(q) {
+		return 0
+	}
 	if q < 0 {
 		q = 0
 	}

@@ -39,9 +39,18 @@ func TestHistogramQuantile(t *testing.T) {
 	if got := h.Quantile(-1); got < 0 {
 		t.Errorf("q=-1 -> %v", got)
 	}
+	// NaN slips past the < / > clamps; it must yield 0, not NaN — the
+	// quantile lands in JSON output, and encoding/json rejects NaN.
+	if got := h.Quantile(math.NaN()); got != 0 {
+		t.Errorf("q=NaN -> %v, want 0", got)
+	}
 	var nilH *Histogram
 	if got := nilH.Quantile(0.5); got != 0 {
 		t.Errorf("nil histogram quantile = %v", got)
+	}
+	empty := NewRegistry().Histogram("q2", "", []float64{1, 2})
+	if got := empty.Quantile(math.NaN()); got != 0 {
+		t.Errorf("empty q=NaN -> %v, want 0", got)
 	}
 }
 

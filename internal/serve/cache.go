@@ -71,6 +71,19 @@ func (c *lruCache) add(key string, val []scoredItem) {
 	}
 }
 
+// purge drops every entry. Called on model swap: keys are scoped to the
+// model version, so the stale entries could never be served again — the
+// purge just returns their memory ahead of LRU eviction.
+func (c *lruCache) purge() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.items)
+}
+
 // len returns the current entry count.
 func (c *lruCache) len() int {
 	if c == nil {

@@ -54,10 +54,15 @@ func (s *Server) handleDebugRequest(w http.ResponseWriter, r *http.Request) {
 
 // EndpointLatency is one endpoint's latency distribution at snapshot
 // time: total request count, cumulative seconds, and interpolated
-// quantiles from the serve histogram's buckets.
+// quantiles from the serve histogram's buckets. Empty marks endpoints
+// that saw no traffic: their quantiles are all 0, which would otherwise
+// read as "instant" — the marker keeps snapshot consumers (and the
+// regression gate's min-count skip) honest about the difference between
+// measured-fast and never-measured.
 type EndpointLatency struct {
 	Count      uint64             `json:"count"`
 	SumSeconds float64            `json:"sum_seconds"`
+	Empty      bool               `json:"empty,omitempty"`
 	Quantiles  map[string]float64 `json:"quantiles"`
 }
 
@@ -101,6 +106,7 @@ func (s *Server) LatencySnapshot() LatencySnapshot {
 		lat := EndpointLatency{
 			Count:      h.Count(),
 			SumSeconds: h.Sum(),
+			Empty:      h.Count() == 0,
 			Quantiles:  make(map[string]float64, len(SnapshotQuantiles)),
 		}
 		for name, q := range SnapshotQuantiles {

@@ -273,6 +273,15 @@ func TestLatencySnapshot(t *testing.T) {
 	if snap.Endpoints["similar"].Count != 1 {
 		t.Errorf("similar count = %d, want 1", snap.Endpoints["similar"].Count)
 	}
+	// Endpoints that saw traffic are not marked empty; endpoints that
+	// didn't are — their all-zero quantiles mean "never measured", not
+	// "instant", and the marker is what records the difference.
+	if rec.Empty {
+		t.Error("recommend marked empty despite 5 requests")
+	}
+	if sc := snap.Endpoints["score"]; !sc.Empty || sc.Count != 0 {
+		t.Errorf("untrafficked score endpoint = %+v, want empty marker", sc)
+	}
 	// 5 identical batches: 3 misses then 12 hits.
 	if snap.Counters["cache_hit"] != 12 || snap.Counters["cache_miss"] != 3 {
 		t.Errorf("cache counters = %v", snap.Counters)
@@ -299,5 +308,8 @@ func TestLatencySnapshot(t *testing.T) {
 	}
 	if back.Endpoints["recommend"].Count != 5 {
 		t.Errorf("round-tripped count = %d", back.Endpoints["recommend"].Count)
+	}
+	if !back.Endpoints["score"].Empty || back.Endpoints["recommend"].Empty {
+		t.Error("empty markers did not survive the round trip")
 	}
 }

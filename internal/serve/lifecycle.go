@@ -62,9 +62,11 @@ func (s *Server) lifecycle(next http.Handler) http.Handler {
 }
 
 // bypassed reports whether the request skips load shedding and request
-// tracing: liveness probes and the diagnostic surface itself.
+// tracing: liveness probes, the diagnostic surface itself, and the
+// admin reload — an overloaded server must still answer probes, be
+// debuggable, and accept a replacement model.
 func bypassed(path string) bool {
-	return path == "/v1/healthz" || strings.HasPrefix(path, "/debug/")
+	return path == "/v1/healthz" || path == "/v1/reload" || strings.HasPrefix(path, "/debug/")
 }
 
 // recovered converts handler panics into JSON 500s. A panicking scoring
@@ -123,7 +125,7 @@ func (s *Server) limited(next http.Handler) http.Handler {
 			// line is emitted here: no id (nothing retained to look up), no
 			// bytes counting, cause "shed". Enabled gates the allocation.
 			if s.cfg.Log.Enabled(obs.LevelInfo) {
-				s.logAccess("", endpointName(r), http.StatusTooManyRequests, 0, 0, "shed")
+				s.logAccess("", endpointName(r), http.StatusTooManyRequests, 0, 0, "shed", "")
 			}
 		}
 	})
@@ -176,7 +178,11 @@ func (s *Server) traced(next http.Handler) http.Handler {
 			}
 			elapsed := time.Since(t0)
 			if s.cfg.Log.Enabled(obs.LevelInfo) {
-				s.logAccess(id, ep, status, rec.bytes, elapsed, cause)
+				// The version comes from the header the handler stamped, so
+				// the log line always matches the response bytes even when a
+				// model swap lands mid-request.
+				s.logAccess(id, ep, status, rec.bytes, elapsed, cause,
+					rec.Header().Get("X-Model-Version"))
 			}
 			if tr != nil {
 				s.tlog.Add(obs.TraceEntry{
@@ -192,10 +198,13 @@ func (s *Server) traced(next http.Handler) http.Handler {
 
 // logAccess emits the structured access-log line: one slog record per
 // request with the fields an operator greps for first.
-func (s *Server) logAccess(id, endpoint string, status int, bytes int64, elapsed time.Duration, cause string) {
+func (s *Server) logAccess(id, endpoint string, status int, bytes int64, elapsed time.Duration, cause, modelVersion string) {
 	args := []any{
 		"id", id, "endpoint", endpoint, "status", status,
 		"bytes", bytes, "elapsed", elapsed,
+	}
+	if modelVersion != "" {
+		args = append(args, "model_version", modelVersion)
 	}
 	if cause != "" {
 		args = append(args, "cause", cause)
@@ -237,6 +246,8 @@ func endpointName(r *http.Request) string {
 		return "healthz"
 	case "/v1/info":
 		return "info"
+	case "/v1/reload":
+		return "reload"
 	}
 	return "other"
 }

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"gebe/internal/bigraph"
+	"gebe/internal/core"
+	"gebe/internal/dense"
+	"gebe/internal/eval"
+)
+
+// model is one immutable serving snapshot: the embedding, the per-user
+// training exclusion sets, the precomputed row norms, and the scorer
+// pools bound to those matrices — everything request handling reads that
+// must stay mutually consistent. The Server holds the current model
+// behind one atomic pointer; a hot swap publishes a fully built
+// replacement with a single store, so no request ever observes state
+// from two versions. Handlers capture the pointer once on entry and use
+// only that snapshot; the old model (pools included) is garbage-collected
+// once its last in-flight request finishes.
+type model struct {
+	// version increases monotonically across swaps within one Server and
+	// is stamped into /v1/info, the X-Model-Version response header, the
+	// access log, and the recommend cache key.
+	version uint64
+	// loaded is when this snapshot was published.
+	loaded time.Time
+	emb    *core.Embedding
+
+	// trainItems[u] holds u's training items when a training graph was
+	// supplied — the exclusion set the paper's top-N protocol applies,
+	// optional per request via mask_train.
+	trainItems []map[int]bool
+	trainEdges int
+
+	// Precomputed row norms for /v1/similar's normalized dot products:
+	// cosine(i,j) = M[i]·M[j] / (norm[i]·norm[j]).
+	uNorms, vNorms []float64
+
+	// One scorer pool per GEMM orientation; scorers are not
+	// concurrency-safe, so each in-flight request checks one out.
+	recScorers, uSimScorers, vSimScorers sync.Pool
+}
+
+// newModel validates and precomputes one serving snapshot. train is
+// optional; when non-nil it must index-align with the embedding.
+func newModel(version uint64, emb *core.Embedding, train *bigraph.Graph) (*model, error) {
+	if emb == nil || emb.U == nil || emb.V == nil {
+		return nil, errors.New("serve: nil embedding")
+	}
+	m := &model{version: version, loaded: time.Now(), emb: emb}
+	if train != nil {
+		if train.NU > emb.U.Rows || train.NV > emb.V.Rows {
+			return nil, fmt.Errorf("serve: training graph is %dx%d but embedding covers %dx%d",
+				train.NU, train.NV, emb.U.Rows, emb.V.Rows)
+		}
+		m.trainItems = make([]map[int]bool, emb.U.Rows)
+		for _, e := range train.Edges {
+			if m.trainItems[e.U] == nil {
+				m.trainItems[e.U] = make(map[int]bool)
+			}
+			m.trainItems[e.U][e.V] = true
+		}
+		m.trainEdges = len(train.Edges)
+	}
+	m.uNorms = rowNorms(emb.U)
+	m.vNorms = rowNorms(emb.V)
+	m.recScorers.New = func() any { return eval.NewScorer(emb.U, emb.V) }
+	m.uSimScorers.New = func() any { return eval.NewScorer(emb.U, emb.U) }
+	m.vSimScorers.New = func() any { return eval.NewScorer(emb.V, emb.V) }
+	return m, nil
+}
+
+// rowNorms precomputes per-row Euclidean norms, the denominators of
+// /v1/similar's cosine scores.
+func rowNorms(m *dense.Matrix) []float64 {
+	norms := make([]float64, m.Rows)
+	for i := range norms {
+		norms[i] = math.Sqrt(dense.Dot(m.Row(i), m.Row(i)))
+	}
+	return norms
+}
+
+// model returns the current serving snapshot. Handlers call this exactly
+// once per request and thread the result through, so one request never
+// mixes two versions even across a concurrent swap.
+func (s *Server) model() *model {
+	return s.cur.Load()
+}
+
+// ModelVersion reports the currently served model version.
+func (s *Server) ModelVersion() uint64 {
+	return s.model().version
+}
+
+// Swap atomically replaces the served model with a freshly validated
+// snapshot over emb/train and returns the new version. In-flight
+// requests finish on the snapshot they started with; new requests see
+// the new model immediately — nothing drains and nothing blocks. The
+// recommend cache is purged (its keys are version-scoped, so stale
+// entries could never be served either way; purging just frees them
+// eagerly).
+func (s *Server) Swap(emb *core.Embedding, train *bigraph.Graph) (uint64, error) {
+	t0 := time.Now()
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	version := s.model().version + 1
+	m, err := newModel(version, emb, train)
+	if err != nil {
+		s.m.swapFailures.Inc()
+		return 0, err
+	}
+	s.cur.Store(m)
+	s.cache.purge()
+	s.m.swaps.Inc()
+	s.m.modelVersion.Set(float64(version))
+	s.m.swapSeconds.ObserveSince(t0)
+	s.cfg.Log.Info("serve: model swapped", "model_version", version,
+		"users", emb.U.Rows, "items", emb.V.Rows, "k", emb.K(),
+		"method", emb.Method, "warm_start", emb.WarmStarted,
+		"swap_s", time.Since(t0).Seconds())
+	return version, nil
+}
+
+// Reload runs the configured loader (Config.Reload) and swaps the result
+// in — the shared implementation behind POST /v1/reload and SIGHUP. The
+// load+validate latency lands in serve_model_load_seconds.
+func (s *Server) Reload() (uint64, error) {
+	if s.cfg.Reload == nil {
+		return 0, errors.New("serve: no reload loader configured")
+	}
+	t0 := time.Now()
+	emb, train, err := s.cfg.Reload()
+	s.m.loadSeconds.ObserveSince(t0)
+	if err != nil {
+		s.m.swapFailures.Inc()
+		return 0, fmt.Errorf("serve: reload: %w", err)
+	}
+	v, err := s.Swap(emb, train)
+	if err != nil {
+		return 0, fmt.Errorf("serve: reload: %w", err)
+	}
+	return v, nil
+}

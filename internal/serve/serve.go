@@ -27,7 +27,6 @@ import (
 	"gebe/internal/bigraph"
 	"gebe/internal/budget"
 	"gebe/internal/core"
-	"gebe/internal/dense"
 	"gebe/internal/eval"
 	"gebe/internal/obs"
 )
@@ -63,28 +62,29 @@ type Config struct {
 	Metrics *obs.Registry
 	// Log receives request-level debug logging; nil disables it.
 	Log *obs.Logger
+	// Reload loads a fresh (embedding, training graph) pair for a hot
+	// swap — POST /v1/reload and SIGHUP both call it. The callback keeps
+	// file I/O out of the serving layer: cmd/gebe-serve re-reads its -emb
+	// and -train paths. nil disables /v1/reload (501).
+	Reload func() (*core.Embedding, *bigraph.Graph, error)
+	// AdminToken gates POST /v1/reload: when non-empty, requests must
+	// carry it in an X-Admin-Token header. Empty leaves the endpoint
+	// open — for local use and tests only.
+	AdminToken string
 }
 
 // Server answers embedding queries. Build one with New and mount
 // Handler on an http.Server.
 type Server struct {
 	cfg   Config
-	emb   *core.Embedding
 	start time.Time
 
-	// trainItems[u] holds u's training items when a training graph was
-	// supplied — the exclusion set the paper's top-N protocol applies,
-	// optional per request via mask_train.
-	trainItems []map[int]bool
-	trainEdges int
-
-	// Precomputed row norms for /v1/similar's normalized dot products:
-	// cosine(i,j) = M[i]·M[j] / (norm[i]·norm[j]).
-	uNorms, vNorms []float64
-
-	// One scorer pool per GEMM orientation; scorers are not
-	// concurrency-safe, so each in-flight request checks one out.
-	recScorers, uSimScorers, vSimScorers sync.Pool
+	// cur is the served model snapshot (embedding + norms + exclusion
+	// sets + scorer pools, see model.go), swapped atomically by
+	// Swap/Reload. swapMu serializes swaps so versions are assigned in
+	// store order; reads never take it.
+	cur    atomic.Pointer[model]
+	swapMu sync.Mutex
 
 	cache   *lruCache
 	limiter chan struct{} // nil = unlimited
@@ -100,28 +100,30 @@ type Server struct {
 }
 
 type serveMetrics struct {
-	inflight  *obs.Gauge
-	shed      *obs.Counter
-	panics    *obs.Counter
-	deadlines *obs.Counter
-	cacheHit  *obs.Counter
-	cacheMiss *obs.Counter
-	status    *obs.CounterVec
-	seconds   map[string]*obs.Histogram
+	inflight     *obs.Gauge
+	shed         *obs.Counter
+	panics       *obs.Counter
+	deadlines    *obs.Counter
+	cacheHit     *obs.Counter
+	cacheMiss    *obs.Counter
+	swaps        *obs.Counter
+	swapFailures *obs.Counter
+	modelVersion *obs.Gauge
+	loadSeconds  *obs.Histogram
+	swapSeconds  *obs.Histogram
+	status       *obs.CounterVec
+	seconds      map[string]*obs.Histogram
 }
 
 // endpoints names the instrumented routes; per-endpoint histograms are
 // created eagerly so the metrics surface is complete before traffic.
-var endpoints = []string{"recommend", "similar", "score", "healthz", "info"}
+var endpoints = []string{"recommend", "similar", "score", "healthz", "info", "reload"}
 
 // New builds a Server over a loaded embedding. train is optional: when
 // non-nil its edges become the per-user exclusion sets for recommend's
 // mask_train option (the offline protocol's "exclude training edges"),
 // and it must index-align with the embedding.
 func New(emb *core.Embedding, train *bigraph.Graph, cfg Config) (*Server, error) {
-	if emb == nil || emb.U == nil || emb.V == nil {
-		return nil, errors.New("serve: nil embedding")
-	}
 	if cfg.DefaultN <= 0 {
 		cfg.DefaultN = 10
 	}
@@ -134,42 +136,34 @@ func New(emb *core.Embedding, train *bigraph.Graph, cfg Config) (*Server, error)
 	if cfg.Metrics == nil {
 		cfg.Metrics = obs.DefaultRegistry()
 	}
-	s := &Server{cfg: cfg, emb: emb, start: time.Now(), cache: newLRU(cfg.CacheSize)}
+	s := &Server{cfg: cfg, start: time.Now(), cache: newLRU(cfg.CacheSize)}
 	s.tlog = obs.NewTraceLog(cfg.TraceRequests)
 	s.ridPrefix = fmt.Sprintf("%08x-", uint32(time.Now().UnixNano()))
-	if train != nil {
-		if train.NU > emb.U.Rows || train.NV > emb.V.Rows {
-			return nil, fmt.Errorf("serve: training graph is %dx%d but embedding covers %dx%d",
-				train.NU, train.NV, emb.U.Rows, emb.V.Rows)
-		}
-		s.trainItems = make([]map[int]bool, emb.U.Rows)
-		for _, e := range train.Edges {
-			if s.trainItems[e.U] == nil {
-				s.trainItems[e.U] = make(map[int]bool)
-			}
-			s.trainItems[e.U][e.V] = true
-		}
-		s.trainEdges = len(train.Edges)
+	mdl, err := newModel(1, emb, train)
+	if err != nil {
+		return nil, err
 	}
-	s.uNorms = rowNorms(emb.U)
-	s.vNorms = rowNorms(emb.V)
-	s.recScorers.New = func() any { return eval.NewScorer(emb.U, emb.V) }
-	s.uSimScorers.New = func() any { return eval.NewScorer(emb.U, emb.U) }
-	s.vSimScorers.New = func() any { return eval.NewScorer(emb.V, emb.V) }
+	s.cur.Store(mdl)
 	if cfg.MaxInflight > 0 {
 		s.limiter = make(chan struct{}, cfg.MaxInflight)
 	}
 	r := cfg.Metrics
 	s.m = serveMetrics{
-		inflight:  r.Gauge("serve_inflight", "requests currently being served"),
-		shed:      r.Counter("serve_shed_total", "requests shed with 429 at the concurrency limit"),
-		panics:    r.Counter("serve_panics_total", "handler panics recovered to 500"),
-		deadlines: r.Counter("serve_deadline_total", "requests that blew the per-request budget (503)"),
-		cacheHit:  r.Counter("serve_cache_hit_total", "recommend results answered from the LRU"),
-		cacheMiss: r.Counter("serve_cache_miss_total", "recommend results scored afresh"),
-		status:    r.CounterVec("serve_status", "responses per endpoint and status code"),
-		seconds:   make(map[string]*obs.Histogram, len(endpoints)),
+		inflight:     r.Gauge("serve_inflight", "requests currently being served"),
+		shed:         r.Counter("serve_shed_total", "requests shed with 429 at the concurrency limit"),
+		panics:       r.Counter("serve_panics_total", "handler panics recovered to 500"),
+		deadlines:    r.Counter("serve_deadline_total", "requests that blew the per-request budget (503)"),
+		cacheHit:     r.Counter("serve_cache_hit_total", "recommend results answered from the LRU"),
+		cacheMiss:    r.Counter("serve_cache_miss_total", "recommend results scored afresh"),
+		swaps:        r.Counter("serve_model_swaps_total", "successful hot swaps of the served model"),
+		swapFailures: r.Counter("serve_model_swap_failures_total", "reloads/swaps rejected by load or validation errors"),
+		modelVersion: r.Gauge("serve_model_version", "version of the currently served model"),
+		loadSeconds:  r.Histogram("serve_model_load_seconds", "wall-clock of the reload loader (read + parse + validate)", nil),
+		swapSeconds:  r.Histogram("serve_model_swap_seconds", "wall-clock of building and publishing a model snapshot", nil),
+		status:       r.CounterVec("serve_status", "responses per endpoint and status code"),
+		seconds:      make(map[string]*obs.Histogram, len(endpoints)),
 	}
+	s.m.modelVersion.Set(1)
 	for _, ep := range endpoints {
 		// FastBuckets: a request is a handful of sub-millisecond GEMM
 		// tiles; DefBuckets' 100µs floor would flatten the distribution.
@@ -177,16 +171,6 @@ func New(emb *core.Embedding, train *bigraph.Graph, cfg Config) (*Server, error)
 			"wall-clock of /v1/"+ep+" requests", obs.FastBuckets)
 	}
 	return s, nil
-}
-
-// rowNorms precomputes per-row Euclidean norms, the denominators of
-// /v1/similar's cosine scores.
-func rowNorms(m *dense.Matrix) []float64 {
-	norms := make([]float64, m.Rows)
-	for i := range norms {
-		norms[i] = math.Sqrt(dense.Dot(m.Row(i), m.Row(i)))
-	}
-	return norms
 }
 
 // scoredItem is one (id, score) pair in a ranked response list.
@@ -207,6 +191,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /v1/score", s.instrument("score", s.handleScore))
 	mux.Handle("GET /v1/healthz", s.instrument("healthz", s.handleHealthz))
 	mux.Handle("GET /v1/info", s.instrument("info", s.handleInfo))
+	mux.Handle("POST /v1/reload", s.instrument("reload", s.handleReload))
 	if s.tlog != nil {
 		mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
 		mux.HandleFunc("GET /debug/requests/{id}", s.handleDebugRequest)
@@ -267,17 +252,22 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	mask := s.trainItems != nil
+	// One snapshot for the whole request: scores, masks, cache keys and
+	// the X-Model-Version header all come from the same model even if a
+	// swap lands mid-request.
+	m := s.model()
+	stampVersion(w, m)
+	mask := m.trainItems != nil
 	if req.MaskTrain != nil {
 		mask = *req.MaskTrain
 	}
-	if mask && s.trainItems == nil {
+	if mask && m.trainItems == nil {
 		s.fail(w, http.StatusBadRequest, errors.New("mask_train requested but the server has no training graph (-train)"))
 		return
 	}
 	for _, u := range users {
-		if u < 0 || u >= s.emb.U.Rows {
-			s.fail(w, http.StatusBadRequest, fmt.Errorf("user %d outside [0,%d)", u, s.emb.U.Rows))
+		if u < 0 || u >= m.emb.U.Rows {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("user %d outside [0,%d)", u, m.emb.U.Rows))
 			return
 		}
 	}
@@ -290,7 +280,7 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	var missSlots []int
 	cacheSp := tr.StartSpan("cache")
 	for i, u := range users {
-		key := cacheKey(u, n, mask)
+		key := cacheKey(m.version, u, n, mask)
 		if items, ok := s.cache.get(key); ok {
 			s.m.cacheHit.Inc()
 			resp.Results[i] = userRecommendation{User: u, Items: items, Cached: true}
@@ -304,8 +294,8 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	}
 	cacheSp.Set("batch", len(users)).Set("misses", len(missUsers)).End()
 	if len(missUsers) > 0 {
-		sc := s.recScorers.Get().(*eval.Scorer)
-		defer s.recScorers.Put(sc)
+		sc := m.recScorers.Get().(*eval.Scorer)
+		defer m.recScorers.Put(sc)
 		scoreSp := tr.StartSpan("score").
 			Set("users", len(missUsers)).
 			Set("tiles", (len(missUsers)+eval.TileUsers-1)/eval.TileUsers)
@@ -317,14 +307,14 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 			rankSp := tr.StartSpan("rank").Set("user", u).Set("masked", mask)
 			var skip map[int]bool
 			if mask {
-				skip = s.trainItems[u]
+				skip = m.trainItems[u]
 			}
 			ids := eval.TopNIndices(scores, n, skip)
 			items := make([]scoredItem, len(ids))
 			for j, id := range ids {
 				items[j] = scoredItem{Item: id, Score: scores[id]}
 			}
-			s.cache.add(cacheKey(u, n, mask), items)
+			s.cache.add(cacheKey(m.version, u, n, mask), items)
 			resp.Results[missSlots[mi]] = userRecommendation{User: u, Items: items}
 			mi++
 			rankSp.End()
@@ -340,8 +330,13 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	encodeSp.End()
 }
 
-func cacheKey(user, n int, mask bool) string {
-	return strconv.Itoa(user) + "|" + strconv.Itoa(n) + "|" + strconv.FormatBool(mask)
+// cacheKey scopes cached lists to the model version that produced them:
+// after a hot swap every lookup misses by construction, so a reload can
+// never serve a list ranked by a previous embedding (the purge in Swap
+// only frees memory faster).
+func cacheKey(version uint64, user, n int, mask bool) string {
+	return strconv.FormatUint(version, 10) + "|" +
+		strconv.Itoa(user) + "|" + strconv.Itoa(n) + "|" + strconv.FormatBool(mask)
 }
 
 // --- /v1/similar ---------------------------------------------------
@@ -356,6 +351,8 @@ type similarResponse struct {
 // normalized dot products over the precomputed row norms. Query
 // parameters: side (u|v, default u), id (required), n.
 func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
+	m := s.model()
+	stampVersion(w, m)
 	q := r.URL.Query()
 	side := q.Get("side")
 	if side == "" {
@@ -365,9 +362,9 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 	var norms []float64
 	switch side {
 	case "u":
-		pool, norms = &s.uSimScorers, s.uNorms
+		pool, norms = &m.uSimScorers, m.uNorms
 	case "v":
-		pool, norms = &s.vSimScorers, s.vNorms
+		pool, norms = &m.vSimScorers, m.vNorms
 	default:
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("side must be u or v, got %q", side))
 		return
@@ -401,11 +398,19 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 	err = sc.ScoreCtx(r.Context(), []int{id}, s.checkpoint(r), func(_ int, scores []float64) {
 		rankSp := tr.StartSpan("rank")
 		for j := range scores {
+			// Zero-norm rows are isolated vertices: their all-zero embedding
+			// has no direction, so cosine against anything is defined as 0
+			// here — never NaN/Inf in the JSON (which encoding/json would
+			// reject wholesale). The non-finite check also catches subnormal
+			// denominators overflowing the division.
+			c := 0.0
 			if d := norms[id] * norms[j]; d > 0 {
-				scores[j] /= d
-			} else {
-				scores[j] = 0
+				c = scores[j] / d
+				if math.IsNaN(c) || math.IsInf(c, 0) {
+					c = 0
+				}
 			}
+			scores[j] = c
 		}
 		ids := eval.TopNIndices(scores, n, map[int]bool{id: true})
 		resp.Neighbors = make([]scoredItem, len(ids))
@@ -449,6 +454,8 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("batch of %d pairs exceeds limit %d", len(req.Pairs), s.cfg.MaxBatch))
 		return
 	}
+	m := s.model()
+	stampVersion(w, m)
 	tr := obs.FromContext(r.Context())
 	check := s.checkpoint(r)
 	out := scoreResponse{Scores: make([]float64, len(req.Pairs))}
@@ -462,12 +469,12 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		u, v := p[0], p[1]
-		if u < 0 || u >= s.emb.U.Rows || v < 0 || v >= s.emb.V.Rows {
+		if u < 0 || u >= m.emb.U.Rows || v < 0 || v >= m.emb.V.Rows {
 			scoreSp.End()
-			s.fail(w, http.StatusBadRequest, fmt.Errorf("pair %d: (%d,%d) outside %dx%d", i, u, v, s.emb.U.Rows, s.emb.V.Rows))
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("pair %d: (%d,%d) outside %dx%d", i, u, v, m.emb.U.Rows, m.emb.V.Rows))
 			return
 		}
-		out.Scores[i] = s.emb.Score(u, v)
+		out.Scores[i] = m.emb.Score(u, v)
 	}
 	scoreSp.End()
 	encodeSp := tr.StartSpan("encode")
@@ -478,6 +485,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 // --- /v1/healthz and /v1/info --------------------------------------
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	stampVersion(w, s.model())
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
 		"uptime_seconds": time.Since(s.start).Seconds(),
@@ -490,25 +498,78 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // latency snapshot pulled from this process is attributable to the
 // exact commit and toolchain serving it.
 func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
+	m := s.model()
+	stampVersion(w, m)
 	s.writeJSON(w, http.StatusOK, map[string]any{
-		"build":        obs.BuildInfo(),
-		"method":       s.emb.Method,
-		"users":        s.emb.U.Rows,
-		"items":        s.emb.V.Rows,
-		"k":            s.emb.K(),
-		"sigma_scale":  s.emb.SigmaScale,
-		"sweeps":       s.emb.Sweeps,
-		"sweeps_saved": s.emb.SweepsSaved,
-		"converged":    s.emb.Converged,
-		"stop_reason":  s.emb.StopReason,
-		"values":       len(s.emb.Values),
-		"train_edges":  s.trainEdges,
-		"cache_size":   s.cfg.CacheSize,
-		"cache_len":    s.cache.len(),
+		"build":          obs.BuildInfo(),
+		"model_version":  m.version,
+		"model_loaded":   m.loaded.UTC().Format(time.RFC3339),
+		"method":         m.emb.Method,
+		"users":          m.emb.U.Rows,
+		"items":          m.emb.V.Rows,
+		"k":              m.emb.K(),
+		"sigma_scale":    m.emb.SigmaScale,
+		"sweeps":         m.emb.Sweeps,
+		"sweeps_saved":   m.emb.SweepsSaved,
+		"converged":      m.emb.Converged,
+		"warm_start":     m.emb.WarmStarted,
+		"stop_reason":    m.emb.StopReason,
+		"values":         len(m.emb.Values),
+		"train_edges":    m.trainEdges,
+		"cache_size":     s.cfg.CacheSize,
+		"cache_len":      s.cache.len(),
 		"max_inflight":   s.cfg.MaxInflight,
 		"deadline_ms":    s.cfg.Deadline.Milliseconds(),
 		"trace_requests": s.tlog.Cap(),
 	})
+}
+
+// --- /v1/reload ----------------------------------------------------
+
+type reloadResponse struct {
+	ModelVersion uint64 `json:"model_version"`
+	Method       string `json:"method"`
+	Users        int    `json:"users"`
+	Items        int    `json:"items"`
+	K            int    `json:"k"`
+	WarmStart    bool   `json:"warm_start"`
+}
+
+// handleReload hot-swaps the served model through the configured loader.
+// Drain-free by design: the swap is one pointer store, in-flight
+// requests finish on their snapshot, and the endpoint bypasses the load
+// shedder so an overloaded server can still be given a fresh model. The
+// X-Model-Version header and the body carry the new version.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Reload == nil {
+		s.fail(w, http.StatusNotImplemented, errors.New("reload is not configured on this server"))
+		return
+	}
+	if s.cfg.AdminToken != "" && r.Header.Get("X-Admin-Token") != s.cfg.AdminToken {
+		s.fail(w, http.StatusForbidden, errors.New("reload requires a valid X-Admin-Token"))
+		return
+	}
+	v, err := s.Reload()
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	m := s.model()
+	stampVersion(w, m)
+	s.writeJSON(w, http.StatusOK, reloadResponse{
+		ModelVersion: v,
+		Method:       m.emb.Method,
+		Users:        m.emb.U.Rows,
+		Items:        m.emb.V.Rows,
+		K:            m.emb.K(),
+		WarmStart:    m.emb.WarmStarted,
+	})
+}
+
+// stampVersion puts the serving snapshot's version on the response, so
+// every answer is attributable to the exact model that produced it.
+func stampVersion(w http.ResponseWriter, m *model) {
+	w.Header().Set("X-Model-Version", strconv.FormatUint(m.version, 10))
 }
 
 // --- shared helpers ------------------------------------------------

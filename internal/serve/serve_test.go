@@ -94,9 +94,9 @@ func TestRecommendMatchesEvalScorer(t *testing.T) {
 	// The served list must match the eval scorer exactly: same ids, same
 	// scores, training items masked (the server has a training graph, so
 	// mask_train defaults to true).
-	sc := eval.NewScorer(s.emb.U, s.emb.V)
+	sc := eval.NewScorer(s.model().emb.U, s.model().emb.V)
 	for i, user := range []int{0, 5, 7} {
-		ids, scores := sc.TopN(user, 6, s.trainItems[user])
+		ids, scores := sc.TopN(user, 6, s.model().trainItems[user])
 		got := resp.Results[i]
 		if got.User != user || len(got.Items) != len(ids) {
 			t.Fatalf("user %d: got %+v want ids %v", user, got, ids)
@@ -108,7 +108,7 @@ func TestRecommendMatchesEvalScorer(t *testing.T) {
 			}
 		}
 		for _, it := range got.Items {
-			if s.trainItems[user][it.Item] {
+			if s.model().trainItems[user][it.Item] {
 				t.Errorf("user %d: training item %d recommended", user, it.Item)
 			}
 		}
@@ -210,9 +210,9 @@ func TestSimilar(t *testing.T) {
 	s, _ := newTestServer(t, Config{})
 	h := s.Handler()
 	for _, side := range []string{"u", "v"} {
-		m, norms := s.emb.U, s.uNorms
+		m, norms := s.model().emb.U, s.model().uNorms
 		if side == "v" {
-			m, norms = s.emb.V, s.vNorms
+			m, norms = s.model().emb.V, s.model().vNorms
 		}
 		id, n := 3, 5
 		w := get(t, h, fmt.Sprintf("/v1/similar?side=%s&id=%d&n=%d", side, id, n))
@@ -258,6 +258,69 @@ func TestSimilar(t *testing.T) {
 	}
 }
 
+// TestSimilarIsolatedVertex is the zero-norm cosine regression test: an
+// isolated vertex embeds as the all-zero row, its norm is 0, and the
+// naive cosine 0/0 is NaN — which encoding/json rejects, turning one
+// degenerate vertex into a 200-with-empty-body for the whole response.
+// The guard defines cosine against (or from) a zero row as 0.
+func TestSimilarIsolatedVertex(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 3))
+	emb := &core.Embedding{U: dense.Random(6, 4, rng), V: dense.Random(8, 4, rng), Method: "gebep"}
+	// Vertex u2 and item v5 are isolated: zero rows on both sides.
+	for c := 0; c < 4; c++ {
+		emb.U.Row(2)[c] = 0
+		emb.V.Row(5)[c] = 0
+	}
+	s, err := New(emb, nil, Config{Metrics: obs.NewRegistry(), MaxN: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+
+	cases := []struct {
+		name, side string
+		id         int
+		// wantZero lists neighbor ids whose score must be exactly 0;
+		// allZero asserts the entire list scored 0.
+		wantZero []int
+		allZero  bool
+	}{
+		{name: "isolated u queried", side: "u", id: 2, allZero: true},
+		{name: "isolated v queried", side: "v", id: 5, allZero: true},
+		{name: "u list contains isolated", side: "u", id: 0, wantZero: []int{2}},
+		{name: "v list contains isolated", side: "v", id: 1, wantZero: []int{5}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := get(t, h, fmt.Sprintf("/v1/similar?side=%s&id=%d&n=7", tc.side, tc.id))
+			if w.Code != http.StatusOK {
+				t.Fatalf("status %d: %s", w.Code, w.Body)
+			}
+			// A NaN anywhere makes encoding/json abort mid-response; a
+			// successful decode of the full body is itself the core assert.
+			resp := decode[similarResponse](t, w)
+			if len(resp.Neighbors) == 0 {
+				t.Fatal("empty neighbor list")
+			}
+			scores := make(map[int]float64, len(resp.Neighbors))
+			for _, nb := range resp.Neighbors {
+				scores[nb.Item] = nb.Score
+				if math.IsNaN(nb.Score) || math.IsInf(nb.Score, 0) {
+					t.Errorf("neighbor %d: non-finite score %v", nb.Item, nb.Score)
+				}
+				if tc.allZero && nb.Score != 0 {
+					t.Errorf("neighbor %d of isolated vertex scored %v, want 0", nb.Item, nb.Score)
+				}
+			}
+			for _, id := range tc.wantZero {
+				if sc, ok := scores[id]; ok && sc != 0 {
+					t.Errorf("isolated neighbor %d scored %v, want 0", id, sc)
+				}
+			}
+		})
+	}
+}
+
 func TestScorePairs(t *testing.T) {
 	s, _ := newTestServer(t, Config{})
 	h := s.Handler()
@@ -266,7 +329,8 @@ func TestScorePairs(t *testing.T) {
 		t.Fatalf("status %d: %s", w.Code, w.Body)
 	}
 	resp := decode[scoreResponse](t, w)
-	want := []float64{s.emb.Score(0, 1), s.emb.Score(5, 10), s.emb.Score(19, 34)}
+	emb := s.model().emb
+	want := []float64{emb.Score(0, 1), emb.Score(5, 10), emb.Score(19, 34)}
 	if len(resp.Scores) != len(want) {
 		t.Fatalf("got %d scores", len(resp.Scores))
 	}
