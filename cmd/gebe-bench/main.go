@@ -61,7 +61,8 @@ func main() {
 		manifestDir = flag.String("manifest-dir", "results", "directory for RUN_<exp>.json run manifests (empty disables)")
 		kernelBench = flag.Bool("kernels", false, "run the SpMM kernel microbench (legacy vs tuned engine) instead of the paper experiments")
 		denseBench  = flag.Bool("dense", false, "run the dense engine microbench (legacy vs blocked GEMM/QR) instead of the paper experiments")
-		quick       = flag.Bool("quick", false, "with -dense: CI-smoke grid (small shapes, short timing spans)")
+		annBench    = flag.Bool("ann", false, "run the approximate-retrieval bench (IVF probe sweep vs exact scorer) instead of the paper experiments")
+		quick       = flag.Bool("quick", false, "with -dense/-ann: CI-smoke grid (small shapes, short timing spans)")
 	)
 	cli := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -109,6 +110,28 @@ func main() {
 		if rows.Summary["max_abs_diff"] > 1e-12 || rows.Summary["all_fma_match"] != 1 {
 			fmt.Fprintf(os.Stderr, "gebe-bench: dense engine diverges from legacy (max |diff| %.3e, fma match %v)\n",
 				rows.Summary["max_abs_diff"], rows.Summary["all_fma_match"] == 1)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *annBench {
+		start := time.Now()
+		rows, bitwise := runANNBench(os.Stdout, runtime.GOMAXPROCS(0), *quick)
+		rep := []benchResult{{
+			Experiment: "ANN", ElapsedSeconds: time.Since(start).Seconds(), Rows: rows,
+		}}
+		if *jsonPath != "" {
+			if err := writeReport(*jsonPath, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "gebe-bench: writing -json report: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		stop()
+		// A full probe that is not bitwise-identical to the exact scorer is
+		// a correctness failure, not an accuracy trade-off.
+		if !bitwise {
+			fmt.Fprintln(os.Stderr, "gebe-bench: full-probe retrieval diverges from the exact scorer")
 			os.Exit(1)
 		}
 		return

@@ -1,14 +1,20 @@
-// Command gebe-regress is the latency regression gate: it compares a
-// fresh performance record against a committed baseline and exits
-// non-zero when a quantile or phase duration regressed beyond both the
-// relative threshold and the absolute floor. It reads the two record
-// kinds this repo produces — serve latency snapshots
-// (results/SERVE_LATENCY.json, written by gebe-serve -latency-out) and
-// experiment run manifests (RUN_<exp>.json, written by gebe-bench
-// -manifest-dir) — detecting the kind from the file contents.
+// Command gebe-regress is the performance regression gate: it compares
+// a fresh performance record against a committed baseline and exits
+// non-zero when a metric regressed beyond both the relative threshold
+// and the absolute floor. It reads the record kinds this repo produces
+// — serve latency snapshots (results/SERVE_LATENCY.json, written by
+// gebe-serve -latency-out), experiment run manifests (RUN_<exp>.json,
+// written by gebe-bench -manifest-dir), and gebe-bench microbench
+// reports (BENCH_SPMM/DENSE/ANN.json, written by gebe-bench
+// -kernels/-dense/-ann -json) — detecting the kind from the file
+// contents. Kernel grids are machine-normalized through their legacy
+// timings before gating; ANN reports additionally gate recall@10
+// against -recall-floor and the full-probe bitwise contract.
 //
 //	gebe-regress -old results/SERVE_LATENCY.json -new /tmp/fresh.json \
 //	    -ratio 5 -min-delta 25ms
+//	gebe-regress -old results/BENCH_ANN.json -new /tmp/BENCH_ANN.json \
+//	    -ratio 1.0 -recall-floor 0.95
 //
 // Exit codes: 0 gate passed, 1 regression found, 2 usage or I/O error.
 package main
@@ -29,6 +35,7 @@ func main() {
 		ratio    = flag.Float64("ratio", 0.5, "allowed fractional increase (0.5 = +50%)")
 		minDelta = flag.Duration("min-delta", 25*time.Millisecond, "absolute increase floor; smaller deltas never fail")
 		minCount = flag.Uint64("min-count", 1, "skip endpoints with fewer samples on either side")
+		recall   = flag.Float64("recall-floor", 0.95, "minimum recall@10 at the default probe (ann reports only)")
 	)
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" {
@@ -38,9 +45,10 @@ func main() {
 	}
 
 	report, err := regress.CompareFiles(*oldPath, *newPath, regress.Options{
-		Ratio:    *ratio,
-		MinDelta: minDelta.Seconds(),
-		MinCount: *minCount,
+		Ratio:       *ratio,
+		MinDelta:    minDelta.Seconds(),
+		MinCount:    *minCount,
+		RecallFloor: *recall,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gebe-regress:", err)

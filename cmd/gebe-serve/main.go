@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"gebe"
+	"gebe/internal/ann"
 	"gebe/internal/dense"
 	"gebe/internal/eval"
 	"gebe/internal/obs"
@@ -53,6 +54,9 @@ func main() {
 		traceReqs   = flag.Int("trace-requests", 64, "retained request traces on /debug/requests (0 = disabled)")
 		latencyOut  = flag.String("latency-out", "", "write a latency snapshot (SERVE_LATENCY.json) here on clean exit")
 		adminToken  = flag.String("admin-token", "", "X-Admin-Token required by POST /v1/reload (empty = open)")
+		annClusters = flag.Int("ann-clusters", 0, "IVF clusters for approximate retrieval (0 = approx mode disabled)")
+		annNprobe   = flag.Int("ann-nprobe", 0, "default clusters probed per approx request (0 = clusters/8)")
+		annInt8     = flag.Bool("ann-int8", false, "serve approx requests from 8-bit quantized item rows")
 	)
 	cli := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -70,6 +74,7 @@ func main() {
 	// metrics (and the engines') whenever any sink is on.
 	if cli.Active() {
 		eval.EnableMetrics(obs.DefaultRegistry())
+		ann.EnableMetrics(obs.DefaultRegistry())
 		sparse.EnableMetrics(obs.DefaultRegistry())
 		dense.EnableMetrics(obs.DefaultRegistry())
 		obs.RegisterRuntimeMetrics(obs.DefaultRegistry())
@@ -101,6 +106,14 @@ func main() {
 		}
 		return e, tg, nil
 	}
+	// The IVF index is rebuilt on every reload inside the new model
+	// snapshot, so approx answers always come from the served embedding.
+	var annCfg *ann.Config
+	if *annClusters > 0 {
+		annCfg = &ann.Config{Clusters: *annClusters, Nprobe: *annNprobe, Int8: *annInt8}
+	} else if *annNprobe > 0 || *annInt8 {
+		fail(fmt.Errorf("-ann-nprobe/-ann-int8 require -ann-clusters > 0"))
+	}
 	srv, err := serve.New(emb, train, serve.Config{
 		Deadline:      *ddl,
 		MaxInflight:   *maxInflight,
@@ -111,6 +124,7 @@ func main() {
 		Log:           obs.Default(),
 		Reload:        reload,
 		AdminToken:    *adminToken,
+		ANN:           annCfg,
 	})
 	if err != nil {
 		fail(err)
@@ -134,8 +148,12 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	fmt.Fprintf(os.Stderr, "gebe-serve: %s embedding %dx%dx%d on http://%s (max-inflight=%d deadline=%s cache=%d)\n",
-		emb.Method, emb.U.Rows, emb.V.Rows, emb.K(), ln.Addr(), *maxInflight, *ddl, *cacheSize)
+	annDesc := "off"
+	if annCfg != nil {
+		annDesc = fmt.Sprintf("%d clusters", *annClusters)
+	}
+	fmt.Fprintf(os.Stderr, "gebe-serve: %s embedding %dx%dx%d on http://%s (max-inflight=%d deadline=%s cache=%d ann=%s)\n",
+		emb.Method, emb.U.Rows, emb.V.Rows, emb.K(), ln.Addr(), *maxInflight, *ddl, *cacheSize, annDesc)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,187 @@
+package ann
+
+import (
+	"math/rand/v2"
+
+	"gebe/internal/dense"
+	"gebe/internal/par"
+)
+
+// assignTile is the row-block height of one point-centroid GEMM: a
+// 256×k slab of items against all centroids per product, small enough
+// that the tile stays cache-resident at serving dimensionalities.
+const assignTile = 256
+
+// kmeans runs k-means++ seeding plus Lloyd iterations over the item
+// rows and returns the centroids, the per-item cluster assignment, and
+// the iteration count. Deterministic for a fixed (items, cfg):
+// seeding draws from a fixed PCG stream, parallel assignment writes
+// each item's slot independently, and the centroid update accumulates
+// sequentially in item order.
+func kmeans(items *dense.Matrix, cfg Config) (*dense.Matrix, []int32, int) {
+	n, k := items.Rows, items.Cols
+	kc := cfg.Clusters
+	cent := seedPlusPlus(items, kc, cfg.Seed)
+
+	assign := make([]int32, n)
+	prev := make([]int32, n)
+	cnorm2 := make([]float64, kc)
+	iters := 0
+	for ; iters < cfg.Iters; iters++ {
+		for c := 0; c < kc; c++ {
+			row := cent.Row(c)
+			cnorm2[c] = dense.Dot(row, row)
+		}
+		assignAll(items, cent, cnorm2, assign, cfg.Threads)
+		if iters > 0 && equalAssign(assign, prev) {
+			break
+		}
+		copy(prev, assign)
+
+		// Update: sequential accumulation in item order keeps the means
+		// bit-reproducible across thread counts. An emptied cluster keeps
+		// its previous centroid — deterministic, and k-means++ seeding
+		// makes the case rare.
+		sums := dense.New(kc, k)
+		counts := make([]int, kc)
+		for i := 0; i < n; i++ {
+			c := int(assign[i])
+			counts[c]++
+			srow, irow := sums.Row(c), items.Row(i)
+			for j, v := range irow {
+				srow[j] += v
+			}
+		}
+		for c := 0; c < kc; c++ {
+			if counts[c] == 0 {
+				continue
+			}
+			inv := 1 / float64(counts[c])
+			crow, srow := cent.Row(c), sums.Row(c)
+			for j := range crow {
+				crow[j] = srow[j] * inv
+			}
+		}
+	}
+	return cent, assign, iters
+}
+
+// assignAll writes each item's nearest centroid (squared Euclidean,
+// ties toward the smaller cluster id) into assign. The distance
+// argmin reduces to argmin_c ‖c‖² − 2·x·c, with the cross terms
+// computed as X_tile · Cᵀ through the dense engine's register-blocked
+// kernels; the item range is chunked across the shared worker pool.
+func assignAll(items, cent *dense.Matrix, cnorm2 []float64, assign []int32, threads int) {
+	n, k := items.Rows, items.Cols
+	kc := cent.Rows
+	parts := threads
+	if parts > n {
+		parts = n
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	chunk := (n + parts - 1) / parts
+	par.Parts(parts, func(p int) {
+		lo := p * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			return
+		}
+		h := assignTile
+		if hi-lo < h {
+			h = hi - lo
+		}
+		tile := dense.New(h, kc)
+		for blo := lo; blo < hi; blo += assignTile {
+			bhi := blo + assignTile
+			if bhi > hi {
+				bhi = hi
+			}
+			rows := bhi - blo
+			xb := &dense.Matrix{Rows: rows, Cols: k, Data: items.Data[blo*k : bhi*k]}
+			tb := &dense.Matrix{Rows: rows, Cols: kc, Data: tile.Data[:rows*kc]}
+			// Tuning{} keeps the product sequential: the pool chunks are
+			// the only parallelism here, mirroring eval.Scorer.
+			dense.MulTInto(tb, xb, cent, dense.Tuning{})
+			for r := 0; r < rows; r++ {
+				trow := tb.Row(r)
+				best, bestD := 0, cnorm2[0]-2*trow[0]
+				for c := 1; c < kc; c++ {
+					if d := cnorm2[c] - 2*trow[c]; d < bestD {
+						best, bestD = c, d
+					}
+				}
+				assign[blo+r] = int32(best)
+			}
+		}
+	})
+}
+
+func equalAssign(a, b []int32) bool {
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// seedPlusPlus picks kc initial centroids with k-means++: the first
+// uniformly, the rest proportionally to squared distance from the
+// nearest already-chosen centroid. All randomness comes from one PCG
+// stream keyed on seed.
+func seedPlusPlus(items *dense.Matrix, kc int, seed uint64) *dense.Matrix {
+	n := items.Rows
+	rng := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+	cent := dense.New(kc, items.Cols)
+	copy(cent.Row(0), items.Row(rng.IntN(n)))
+
+	d2 := make([]float64, n)
+	for i := range d2 {
+		d2[i] = sqDist(items.Row(i), cent.Row(0))
+	}
+	for c := 1; c < kc; c++ {
+		var total float64
+		for _, d := range d2 {
+			total += d
+		}
+		var pick int
+		if total <= 0 {
+			// All points coincide with a centroid (duplicate-heavy data):
+			// fall back to uniform choice.
+			pick = rng.IntN(n)
+		} else {
+			r := rng.Float64() * total
+			acc := 0.0
+			pick = n - 1
+			for i, d := range d2 {
+				acc += d
+				if acc >= r {
+					pick = i
+					break
+				}
+			}
+		}
+		copy(cent.Row(c), items.Row(pick))
+		crow := cent.Row(c)
+		for i := range d2 {
+			if d := sqDist(items.Row(i), crow); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	return cent
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,47 @@
+package ann
+
+import (
+	"math"
+
+	"gebe/internal/dense"
+)
+
+// quantize builds symmetric per-row int8 codes: row i maps through
+// scale_i = maxAbs(row_i)/127 so x ≈ scale_i·q with q ∈ [−127, 127].
+// Per-component reconstruction error is at most scale_i/2, so a
+// dequantized inner product q·u deviates from the float score by at
+// most (scale_i/2)·‖u‖₁ — the bound TestInt8ErrorBound pins.
+func quantize(items *dense.Matrix) ([]int8, []float64) {
+	n, k := items.Rows, items.Cols
+	q8 := make([]int8, n*k)
+	scales := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := items.Row(i)
+		var mx float64
+		for _, v := range row {
+			if a := math.Abs(v); a > mx {
+				mx = a
+			}
+		}
+		if mx == 0 {
+			continue // all-zero row: scale 0, codes 0
+		}
+		s := mx / 127
+		scales[i] = s
+		out := q8[i*k : (i+1)*k]
+		for j, v := range row {
+			out[j] = int8(math.RoundToEven(v / s))
+		}
+	}
+	return q8, scales
+}
+
+// dotQ8 accumulates Σ q[j]·codes[j] in float64; the caller applies the
+// row scale once outside the loop.
+func dotQ8(q []float64, codes []int8) float64 {
+	var s float64
+	for j, c := range codes {
+		s += q[j] * float64(c)
+	}
+	return s
+}

@@ -149,6 +149,129 @@ func AUCPR(scores []float64, labels []bool) (float64, error) {
 	return ap, nil
 }
 
+// topPair is one (score, id) entry in a TopNHeap.
+type topPair struct {
+	s float64
+	i int
+}
+
+// topLess is the total order every top-N selection in this repository
+// ranks by: higher score wins, ties prefer the smaller index. Having
+// exactly one comparator is what lets the approximate retrieval path
+// (internal/ann) reproduce the exact scorer bit for bit at full probe —
+// candidate enumeration order can differ, the selected list cannot.
+func topLess(a, b topPair) bool {
+	if a.s != b.s {
+		return a.s < b.s
+	}
+	return a.i > b.i // deterministic tie-break: prefer smaller index
+}
+
+// TopNHeap selects the n largest (id, score) pairs pushed into it, in
+// descending score order with ties broken toward smaller ids — a
+// bounded min-heap, O(log n) per Push. It is the shared selection core
+// behind TopNIndices and the ANN candidate merge: the result depends
+// only on the pushed set, never on push order. The zero value is unusable;
+// call Reset first. Ranked/IDs consume the heap — Reset before reuse.
+type TopNHeap struct {
+	n    int
+	heap []topPair
+}
+
+// Reset empties the heap and sets its capacity to n, reusing the backing
+// array when it is large enough.
+func (t *TopNHeap) Reset(n int) {
+	t.n = n
+	if cap(t.heap) < n {
+		t.heap = make([]topPair, 0, n)
+	} else {
+		t.heap = t.heap[:0]
+	}
+}
+
+// Push offers one candidate. Pushing the same id twice ranks both
+// entries; callers enumerate each id at most once.
+func (t *TopNHeap) Push(id int, score float64) {
+	if t.n <= 0 {
+		return
+	}
+	p := topPair{score, id}
+	if len(t.heap) < t.n {
+		t.heap = append(t.heap, p)
+		// sift up
+		c := len(t.heap) - 1
+		for c > 0 {
+			par := (c - 1) / 2
+			if topLess(t.heap[c], t.heap[par]) {
+				t.heap[c], t.heap[par] = t.heap[par], t.heap[c]
+				c = par
+			} else {
+				break
+			}
+		}
+		return
+	}
+	if topLess(t.heap[0], p) {
+		t.heap[0] = p
+		t.siftDown(0, len(t.heap))
+	}
+}
+
+// siftDown restores the min-heap property for h[i:len], considering
+// only the first len entries of the backing array.
+func (t *TopNHeap) siftDown(i, len int) {
+	h := t.heap
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len && topLess(h[l], h[m]) {
+			m = l
+		}
+		if r < len && topLess(h[r], h[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// IDs sorts the selected pairs into descending rank order and returns
+// the ids. The heap is consumed: Reset before pushing again.
+func (t *TopNHeap) IDs() []int {
+	t.sortDesc()
+	out := make([]int, len(t.heap))
+	for i, p := range t.heap {
+		out[i] = p.i
+	}
+	return out
+}
+
+// Ranked is IDs plus the matching scores.
+func (t *TopNHeap) Ranked() (ids []int, scores []float64) {
+	t.sortDesc()
+	ids = make([]int, len(t.heap))
+	scores = make([]float64, len(t.heap))
+	for i, p := range t.heap {
+		ids[i] = p.i
+		scores[i] = p.s
+	}
+	return ids, scores
+}
+
+// sortDesc heapsorts in place: popping the min-heap's root to the
+// shrinking end leaves the array in descending rank order, without the
+// interface boxing sort.Slice would allocate on the serving hot path.
+func (t *TopNHeap) sortDesc() {
+	h := t.heap
+	for end := len(h) - 1; end > 0; end-- {
+		h[0], h[end] = h[end], h[0]
+		t.siftDown(0, end)
+	}
+}
+
 // TopNIndices returns the indices of the n largest values in scores, in
 // descending score order, excluding any index in skip. It uses partial
 // selection, O(len·log n).
@@ -156,62 +279,32 @@ func TopNIndices(scores []float64, n int, skip map[int]bool) []int {
 	if n <= 0 {
 		return nil
 	}
-	// Simple bounded min-heap over (score, idx).
-	type pair struct {
-		s float64
-		i int
-	}
-	heap := make([]pair, 0, n)
-	less := func(a, b pair) bool {
-		if a.s != b.s {
-			return a.s < b.s
-		}
-		return a.i > b.i // deterministic tie-break: prefer smaller index
-	}
-	siftDown := func(h []pair, i int) {
-		for {
-			l, r := 2*i+1, 2*i+2
-			m := i
-			if l < len(h) && less(h[l], h[m]) {
-				m = l
-			}
-			if r < len(h) && less(h[r], h[m]) {
-				m = r
-			}
-			if m == i {
-				return
-			}
-			h[i], h[m] = h[m], h[i]
-			i = m
-		}
-	}
+	var t TopNHeap
+	t.Reset(n)
 	for i, s := range scores {
 		if skip != nil && skip[i] {
 			continue
 		}
-		p := pair{s, i}
-		if len(heap) < n {
-			heap = append(heap, p)
-			// sift up
-			c := len(heap) - 1
-			for c > 0 {
-				par := (c - 1) / 2
-				if less(heap[c], heap[par]) {
-					heap[c], heap[par] = heap[par], heap[c]
-					c = par
-				} else {
-					break
-				}
-			}
-		} else if less(heap[0], p) {
-			heap[0] = p
-			siftDown(heap, 0)
+		t.Push(i, s)
+	}
+	return t.IDs()
+}
+
+// TopNIndicesExcluding is TopNIndices with a single excluded index
+// (negative excludes nothing) — the /v1/similar hot path, which
+// otherwise allocated a one-entry skip map per request just to drop the
+// query vertex from its own neighbor list.
+func TopNIndicesExcluding(scores []float64, n, exclude int) []int {
+	if n <= 0 {
+		return nil
+	}
+	var t TopNHeap
+	t.Reset(n)
+	for i, s := range scores {
+		if i == exclude {
+			continue
 		}
+		t.Push(i, s)
 	}
-	sort.Slice(heap, func(a, b int) bool { return less(heap[b], heap[a]) })
-	out := make([]int, len(heap))
-	for i, p := range heap {
-		out[i] = p.i
-	}
-	return out
+	return t.IDs()
 }

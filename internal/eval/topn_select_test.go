@@ -1,0 +1,104 @@
+package eval
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// TestTopNIndicesExcludingMatchesMap pins the fast path to the map
+// form it replaces: for random scores with heavy ties, excluding one
+// index must produce exactly the list TopNIndices produces with a
+// one-entry skip map.
+func TestTopNIndicesExcludingMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 7))
+	for trial := 0; trial < 200; trial++ {
+		m := 1 + rng.IntN(100)
+		scores := make([]float64, m)
+		for i := range scores {
+			// Few distinct values so ties are the common case.
+			scores[i] = float64(rng.IntN(5))
+		}
+		n := 1 + rng.IntN(m+3)
+		exclude := rng.IntN(m+2) - 1 // occasionally -1 (none) or out of range
+		var skip map[int]bool
+		if exclude >= 0 {
+			skip = map[int]bool{exclude: true}
+		}
+		want := TopNIndices(scores, n, skip)
+		got := TopNIndicesExcluding(scores, n, exclude)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: len %d vs %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: rank %d: got %d want %d (n=%d exclude=%d)", trial, i, got[i], want[i], n, exclude)
+			}
+		}
+	}
+}
+
+// TestTopNHeapOrderIndependent: the selected list depends only on the
+// pushed set, not on push order — the property the ANN path's
+// cluster-order candidate enumeration relies on.
+func TestTopNHeapOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 9))
+	scores := make([]float64, 64)
+	for i := range scores {
+		scores[i] = float64(rng.IntN(4))
+	}
+	want := TopNIndices(scores, 10, nil)
+	perm := rng.Perm(len(scores))
+	var h TopNHeap
+	h.Reset(10)
+	for _, i := range perm {
+		h.Push(i, scores[i])
+	}
+	ids, ranked := h.Ranked()
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("rank %d: got %d want %d", i, ids[i], want[i])
+		}
+		if ranked[i] != scores[want[i]] {
+			t.Fatalf("rank %d: score %g want %g", i, ranked[i], scores[want[i]])
+		}
+	}
+}
+
+// TestTopNIndicesExcludingAllocs guards the hot-path win: selection
+// allocates only its heap and the result slice — no skip map.
+func TestTopNIndicesExcludingAllocs(t *testing.T) {
+	scores := make([]float64, 4096)
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := range scores {
+		scores[i] = rng.Float64()
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		TopNIndicesExcluding(scores, 10, 17)
+	})
+	if allocs > 2 {
+		t.Errorf("TopNIndicesExcluding allocates %.1f/op, want ≤ 2 (heap + result)", allocs)
+	}
+}
+
+// BenchmarkTopNIndicesExcluding is the observable form of the alloc
+// guard (run with -benchmem), mirroring the healthz/shed fast-path
+// benchmarks in internal/serve.
+func BenchmarkTopNIndicesExcluding(b *testing.B) {
+	scores := make([]float64, 8192)
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := range scores {
+		scores[i] = rng.Float64()
+	}
+	b.Run("excludeOne", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			TopNIndicesExcluding(scores, 10, 17)
+		}
+	})
+	b.Run("skipMap", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			TopNIndices(scores, 10, map[int]bool{17: true})
+		}
+	})
+}

@@ -1,10 +1,10 @@
-// Package regress is the latency regression gate: it compares two
-// performance records — serve latency snapshots (SERVE_LATENCY.json)
-// or experiment run manifests (RUN_<exp>.json) — and reports quantile
-// or phase-timing increases that exceed both a relative threshold and
-// an absolute floor. CI runs it through cmd/gebe-regress against the
-// committed baseline, turning "the serving layer got slower" from an
-// anecdote into a failed check.
+// Package regress is the performance regression gate: it compares two
+// performance records — serve latency snapshots (SERVE_LATENCY.json),
+// experiment run manifests (RUN_<exp>.json), or gebe-bench microbench
+// reports (BENCH_SPMM/DENSE/ANN.json) — and reports increases that
+// exceed both a relative threshold and an absolute floor. CI runs it
+// through cmd/gebe-regress against the committed baseline, turning
+// "the serving layer got slower" from an anecdote into a failed check.
 //
 // The double threshold matters: sub-millisecond quantiles jitter by
 // large ratios on shared runners, so a pure ratio gate would cry wolf,
@@ -38,6 +38,9 @@ type Options struct {
 	// MinCount skips endpoints with fewer observations on either side
 	// (their quantiles are noise). Zero selects the default 1.
 	MinCount uint64
+	// RecallFloor is the minimum recall@10 at the default probe the ann
+	// gate accepts regardless of the baseline. Zero selects 0.95.
+	RecallFloor float64
 }
 
 func (o Options) withDefaults() Options {
@@ -50,6 +53,9 @@ func (o Options) withDefaults() Options {
 	if o.MinCount == 0 {
 		o.MinCount = 1
 	}
+	if o.RecallFloor == 0 {
+		o.RecallFloor = 0.95
+	}
 	return o
 }
 
@@ -59,9 +65,15 @@ type Finding struct {
 	Old      float64 `json:"old_seconds"`
 	New      float64 `json:"new_seconds"`
 	Increase float64 `json:"increase"` // fractional, e.g. 1.5 = +150%
+	// Note marks unitless findings (recall, latency ratios): when set,
+	// Old/New are plain numbers, not seconds, and Note says what broke.
+	Note string `json:"note,omitempty"`
 }
 
 func (f Finding) String() string {
+	if f.Note != "" {
+		return fmt.Sprintf("%s: %.4g -> %.4g (%s)", f.Metric, f.Old, f.New, f.Note)
+	}
 	return fmt.Sprintf("%s: %s -> %s (+%.0f%%)", f.Metric,
 		time.Duration(f.Old*float64(time.Second)).Round(time.Microsecond),
 		time.Duration(f.New*float64(time.Second)).Round(time.Microsecond),
@@ -179,8 +191,9 @@ func phaseSeconds(root *obs.Span) map[string]float64 {
 }
 
 // CompareFiles loads two records and dispatches on their shape: a
-// top-level "endpoints" key means a latency snapshot, "experiment"
-// means a run manifest. Old and new must be the same kind.
+// top-level array means a gebe-bench report, an "endpoints" key a
+// latency snapshot, an "experiment" key a run manifest. Old and new
+// must be the same kind.
 func CompareFiles(oldPath, newPath string, opt Options) (Report, error) {
 	oldKind, oldRaw, err := loadRecord(oldPath)
 	if err != nil {
@@ -194,6 +207,16 @@ func CompareFiles(oldPath, newPath string, opt Options) (Report, error) {
 		return Report{}, fmt.Errorf("regress: cannot compare %s %s against %s %s", oldKind, oldPath, newKind, newPath)
 	}
 	switch oldKind {
+	case "bench":
+		oldEs, err := parseBenchEntries(oldPath, oldRaw)
+		if err != nil {
+			return Report{}, err
+		}
+		newEs, err := parseBenchEntries(newPath, newRaw)
+		if err != nil {
+			return Report{}, err
+		}
+		return compareBenchReports(oldEs, newEs, opt)
 	case "latency":
 		var oldS, newS serve.LatencySnapshot
 		if err := json.Unmarshal(oldRaw, &oldS); err != nil {
@@ -215,15 +238,25 @@ func CompareFiles(oldPath, newPath string, opt Options) (Report, error) {
 	}
 }
 
-// loadRecord reads a file and sniffs which record kind it holds.
+// loadRecord reads a file and sniffs which record kind it holds. A
+// top-level array is a gebe-bench -json report (BENCH_*.json); objects
+// split on "endpoints" (latency snapshot) vs "experiment" (manifest).
 func loadRecord(path string) (kind string, raw []byte, err error) {
 	raw, err = os.ReadFile(path)
 	if err != nil {
 		return "", nil, fmt.Errorf("regress: %w", err)
 	}
+	var entries []benchEntry
+	if err := json.Unmarshal(raw, &entries); err == nil {
+		if len(entries) == 0 || entries[0].Experiment == "" {
+			return "", nil, fmt.Errorf("regress: %s is not a gebe-bench report", path)
+		}
+		return "bench", raw, nil
+	}
 	var probe struct {
 		Endpoints  map[string]json.RawMessage `json:"endpoints"`
 		Experiment string                     `json:"experiment"`
+		CreatedAt  json.RawMessage            `json:"created_at"`
 	}
 	if err := json.Unmarshal(raw, &probe); err != nil {
 		return "", nil, fmt.Errorf("regress: %s: %w", path, err)
@@ -231,8 +264,12 @@ func loadRecord(path string) (kind string, raw []byte, err error) {
 	switch {
 	case probe.Endpoints != nil:
 		return "latency", raw, nil
-	case probe.Experiment != "":
+	case probe.Experiment != "" && probe.CreatedAt != nil:
+		// Both manifests and single BENCH_<exp>.json entries carry
+		// "experiment"; only manifests stamp "created_at".
 		return "manifest", raw, nil
+	case probe.Experiment != "":
+		return "bench", raw, nil
 	}
-	return "", nil, fmt.Errorf("regress: %s is neither a latency snapshot nor a run manifest", path)
+	return "", nil, fmt.Errorf("regress: %s is neither a latency snapshot, a run manifest, nor a bench report", path)
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"gebe/internal/ann"
 	"gebe/internal/bigraph"
 	"gebe/internal/core"
 	"gebe/internal/dense"
@@ -41,6 +42,13 @@ type model struct {
 	// cosine(i,j) = M[i]·M[j] / (norm[i]·norm[j]).
 	uNorms, vNorms []float64
 
+	// ann is the cluster-pruned retrieval index over the item embedding
+	// (nil when Config.ANN is nil). Built inside the snapshot, so a hot
+	// swap publishes the new embedding and its index in the same pointer
+	// store — a request can never score one model's users against
+	// another model's clusters.
+	ann *ann.Index
+
 	// One scorer pool per GEMM orientation; scorers are not
 	// concurrency-safe, so each in-flight request checks one out.
 	recScorers, uSimScorers, vSimScorers sync.Pool
@@ -48,7 +56,8 @@ type model struct {
 
 // newModel validates and precomputes one serving snapshot. train is
 // optional; when non-nil it must index-align with the embedding.
-func newModel(version uint64, emb *core.Embedding, train *bigraph.Graph) (*model, error) {
+// annCfg, when non-nil, builds the IVF index over the item side.
+func newModel(version uint64, emb *core.Embedding, train *bigraph.Graph, annCfg *ann.Config) (*model, error) {
 	if emb == nil || emb.U == nil || emb.V == nil {
 		return nil, errors.New("serve: nil embedding")
 	}
@@ -69,6 +78,13 @@ func newModel(version uint64, emb *core.Embedding, train *bigraph.Graph) (*model
 	}
 	m.uNorms = rowNorms(emb.U)
 	m.vNorms = rowNorms(emb.V)
+	if annCfg != nil {
+		ix, err := ann.Build(emb.V, *annCfg)
+		if err != nil {
+			return nil, fmt.Errorf("serve: building retrieval index: %w", err)
+		}
+		m.ann = ix
+	}
 	m.recScorers.New = func() any { return eval.NewScorer(emb.U, emb.V) }
 	m.uSimScorers.New = func() any { return eval.NewScorer(emb.U, emb.U) }
 	m.vSimScorers.New = func() any { return eval.NewScorer(emb.V, emb.V) }
@@ -109,7 +125,7 @@ func (s *Server) Swap(emb *core.Embedding, train *bigraph.Graph) (uint64, error)
 	s.swapMu.Lock()
 	defer s.swapMu.Unlock()
 	version := s.model().version + 1
-	m, err := newModel(version, emb, train)
+	m, err := newModel(version, emb, train, s.cfg.ANN)
 	if err != nil {
 		s.m.swapFailures.Inc()
 		return 0, err

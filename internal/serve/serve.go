@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gebe/internal/ann"
 	"gebe/internal/bigraph"
 	"gebe/internal/budget"
 	"gebe/internal/core"
@@ -71,6 +72,14 @@ type Config struct {
 	// carry it in an X-Admin-Token header. Empty leaves the endpoint
 	// open — for local use and tests only.
 	AdminToken string
+	// ANN enables cluster-pruned approximate retrieval on /v1/recommend:
+	// when non-nil, every model snapshot — the initial load and each hot
+	// swap — builds an ann.Index over the item embedding with this
+	// configuration, and requests may select "mode":"approx" with an
+	// optional nprobe. nil keeps the server exact-only (approx requests
+	// get 400). Indexes built with ANN.Int8 serve approx requests from
+	// the quantized rows.
+	ANN *ann.Config
 }
 
 // Server answers embedding queries. Build one with New and mount
@@ -139,7 +148,7 @@ func New(emb *core.Embedding, train *bigraph.Graph, cfg Config) (*Server, error)
 	s := &Server{cfg: cfg, start: time.Now(), cache: newLRU(cfg.CacheSize)}
 	s.tlog = obs.NewTraceLog(cfg.TraceRequests)
 	s.ridPrefix = fmt.Sprintf("%08x-", uint32(time.Now().UnixNano()))
-	mdl, err := newModel(1, emb, train)
+	mdl, err := newModel(1, emb, train, cfg.ANN)
 	if err != nil {
 		return nil, err
 	}
@@ -212,6 +221,15 @@ type recommendRequest struct {
 	// to have been started with a training graph); defaults to true
 	// when a training graph is loaded.
 	MaskTrain *bool `json:"mask_train"`
+	// Mode selects the retrieval path: "exact" (default) scores every
+	// item through the GEMM scorer; "approx" prunes candidates through
+	// the cluster index (requires the server to have been started with
+	// one). The response echoes the choice in X-Retrieval-Mode.
+	Mode string `json:"mode"`
+	// Nprobe is the cluster count an approx request scans; 0 selects the
+	// index default, values above the cluster count clamp to it (a full
+	// probe reproduces the exact scorer). Only valid with mode approx.
+	Nprobe int `json:"nprobe"`
 }
 
 type userRecommendation struct {
@@ -257,6 +275,35 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	// swap lands mid-request.
 	m := s.model()
 	stampVersion(w, m)
+	mode := req.Mode
+	if mode == "" {
+		mode = modeExact
+	}
+	switch mode {
+	case modeExact, modeApprox:
+	default:
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("mode must be %q or %q, got %q", modeExact, modeApprox, req.Mode))
+		return
+	}
+	if req.Nprobe < 0 {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("nprobe must be non-negative, got %d", req.Nprobe))
+		return
+	}
+	if req.Nprobe > 0 && mode != modeApprox {
+		s.fail(w, http.StatusBadRequest, errors.New("nprobe requires mode approx"))
+		return
+	}
+	nprobe := 0
+	if mode == modeApprox {
+		if m.ann == nil {
+			s.fail(w, http.StatusBadRequest, errors.New("approximate retrieval is not enabled on this server (-ann-clusters)"))
+			return
+		}
+		// Canonicalize before the cache: nprobe 0 and an explicit default
+		// hit the same entries.
+		nprobe = m.ann.EffectiveNprobe(req.Nprobe)
+	}
+	w.Header().Set(retrievalModeHeader, mode)
 	mask := m.trainItems != nil
 	if req.MaskTrain != nil {
 		mask = *req.MaskTrain
@@ -280,7 +327,7 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	var missSlots []int
 	cacheSp := tr.StartSpan("cache")
 	for i, u := range users {
-		key := cacheKey(m.version, u, n, mask)
+		key := cacheKey(m.version, u, n, mask, mode, nprobe)
 		if items, ok := s.cache.get(key); ok {
 			s.m.cacheHit.Inc()
 			resp.Results[i] = userRecommendation{User: u, Items: items, Cached: true}
@@ -293,7 +340,42 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		missSlots = append(missSlots, i)
 	}
 	cacheSp.Set("batch", len(users)).Set("misses", len(missUsers)).End()
-	if len(missUsers) > 0 {
+	switch {
+	case len(missUsers) == 0:
+	case mode == modeApprox:
+		// Cluster-pruned retrieval: per-user index searches instead of
+		// full GEMM rows. The retrieval span aggregates how much of the
+		// item side the whole batch actually touched.
+		retrSp := tr.StartSpan("retrieval").Set("mode", mode).
+			Set("nprobe", nprobe).Set("users", len(missUsers))
+		check := s.checkpoint(r)
+		probed, scored := 0, 0
+		for mi, u := range missUsers {
+			if check != nil {
+				if err := check(); err != nil {
+					retrSp.Set("clusters", probed).Set("candidates", scored).End()
+					s.failBudget(w, err)
+					return
+				}
+			}
+			var skip map[int]bool
+			if mask {
+				skip = m.trainItems[u]
+			}
+			ids, scores, st := m.ann.Search(m.emb.U.Row(u), n, ann.Options{
+				Nprobe: nprobe, Skip: skip, Int8: m.ann.Int8(),
+			})
+			probed += st.Probed
+			scored += st.Scored
+			items := make([]scoredItem, len(ids))
+			for j, id := range ids {
+				items[j] = scoredItem{Item: id, Score: scores[j]}
+			}
+			s.cache.add(cacheKey(m.version, u, n, mask, mode, nprobe), items)
+			resp.Results[missSlots[mi]] = userRecommendation{User: u, Items: items}
+		}
+		retrSp.Set("clusters", probed).Set("candidates", scored).End()
+	default:
 		sc := m.recScorers.Get().(*eval.Scorer)
 		defer m.recScorers.Put(sc)
 		scoreSp := tr.StartSpan("score").
@@ -314,7 +396,7 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 			for j, id := range ids {
 				items[j] = scoredItem{Item: id, Score: scores[id]}
 			}
-			s.cache.add(cacheKey(m.version, u, n, mask), items)
+			s.cache.add(cacheKey(m.version, u, n, mask, mode, nprobe), items)
 			resp.Results[missSlots[mi]] = userRecommendation{User: u, Items: items}
 			mi++
 			rankSp.End()
@@ -330,13 +412,25 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	encodeSp.End()
 }
 
+// modeExact and modeApprox are the /v1/recommend retrieval paths,
+// echoed back in the X-Retrieval-Mode response header.
+const (
+	modeExact  = "exact"
+	modeApprox = "approx"
+
+	retrievalModeHeader = "X-Retrieval-Mode"
+)
+
 // cacheKey scopes cached lists to the model version that produced them:
 // after a hot swap every lookup misses by construction, so a reload can
 // never serve a list ranked by a previous embedding (the purge in Swap
-// only frees memory faster).
-func cacheKey(version uint64, user, n int, mask bool) string {
+// only frees memory faster). Mode and nprobe are part of the key — an
+// approximate list must never answer an exact request, and different
+// probe depths rank differently.
+func cacheKey(version uint64, user, n int, mask bool, mode string, nprobe int) string {
 	return strconv.FormatUint(version, 10) + "|" +
-		strconv.Itoa(user) + "|" + strconv.Itoa(n) + "|" + strconv.FormatBool(mask)
+		strconv.Itoa(user) + "|" + strconv.Itoa(n) + "|" + strconv.FormatBool(mask) + "|" +
+		mode + "|" + strconv.Itoa(nprobe)
 }
 
 // --- /v1/similar ---------------------------------------------------
@@ -412,7 +506,9 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 			}
 			scores[j] = c
 		}
-		ids := eval.TopNIndices(scores, n, map[int]bool{id: true})
+		// Single-exclusion fast path: no per-request skip map just to
+		// drop the query vertex from its own neighbor list.
+		ids := eval.TopNIndicesExcluding(scores, n, id)
 		resp.Neighbors = make([]scoredItem, len(ids))
 		for j, nid := range ids {
 			resp.Neighbors[j] = scoredItem{Item: nid, Score: scores[nid]}
@@ -500,7 +596,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
 	m := s.model()
 	stampVersion(w, m)
+	var annInfo map[string]any
+	if m.ann != nil {
+		annInfo = map[string]any{
+			"clusters":       m.ann.Clusters(),
+			"default_nprobe": m.ann.DefaultNprobe(),
+			"int8":           m.ann.Int8(),
+			"build_seconds":  m.ann.BuildSeconds(),
+		}
+	}
 	s.writeJSON(w, http.StatusOK, map[string]any{
+		"ann": annInfo,
 		"build":          obs.BuildInfo(),
 		"model_version":  m.version,
 		"model_loaded":   m.loaded.UTC().Format(time.RFC3339),

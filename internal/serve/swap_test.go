@@ -129,7 +129,7 @@ func TestSwapInvalidatesCache(t *testing.T) {
 	}
 	// The old version's key would miss even without the purge: keys embed
 	// the version, so a v1 entry can never answer a v2 lookup.
-	if _, ok := s.cache.get(cacheKey(1, 3, 5, true)); ok {
+	if _, ok := s.cache.get(cacheKey(1, 3, 5, true, modeExact, 0)); ok {
 		t.Error("version-1 cache entry survived the purge")
 	}
 	_ = reg
