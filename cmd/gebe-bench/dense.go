@@ -6,6 +6,7 @@ import (
 	"math/rand/v2"
 	"time"
 
+	"gebe/internal/cpu"
 	"gebe/internal/dense"
 	"gebe/internal/obs"
 )
@@ -31,13 +32,24 @@ type denseCell struct {
 	MaxAbsDiff    float64 `json:"max_abs_diff"`
 	FMAPerCall    float64 `json:"fma_per_call"`
 	FMAMatch      bool    `json:"fma_match"`
+	// The kernel-flavor grid, mirroring the SPMM cells: tuned engine
+	// timed with Tuning.Kernels pinned to each flavor. Zero SIMD fields
+	// mean no vector kernels on this CPU (or -tags purego).
+	GoSeconds   float64 `json:"go_seconds,omitempty"`
+	SIMDSeconds float64 `json:"simd_seconds,omitempty"`
+	FMASeconds  float64 `json:"fma_seconds,omitempty"`
+	SIMDSpeedup float64 `json:"simd_speedup,omitempty"`
+	SIMDBitwise bool    `json:"simd_bitwise"`
+	FMARelErr   float64 `json:"fma_rel_err,omitempty"`
 }
 
 // denseReport is the Rows payload of the DENSE entry in the -json report.
 type denseReport struct {
-	GOMAXPROCS int                `json:"gomaxprocs"`
-	Cells      []denseCell        `json:"cells"`
-	Summary    map[string]float64 `json:"summary"`
+	GOMAXPROCS  int                `json:"gomaxprocs"`
+	CPUFeatures string             `json:"cpu_features"`
+	Kernels     string             `json:"kernels"`
+	Cells       []denseCell        `json:"cells"`
+	Summary     map[string]float64 `json:"summary"`
 }
 
 // denseFMAForCall runs f once against a fresh metrics registry and
@@ -59,15 +71,24 @@ func runDenseBench(out io.Writer, gomaxprocs int, quick bool) denseReport {
 	minSpan := 200 * time.Millisecond
 	if quick {
 		ns = []int{2000}
-		ks = []int{8, 32}
+		ks = []int{8, 16, 32}
 		minSpan = 50 * time.Millisecond
 	}
 	legacy := dense.Tuning{Strategy: dense.StrategyLegacy}
 	tuned := dense.Tuning{Threads: gomaxprocs}
+	goT, sT, fT := tuned, tuned, tuned
+	goT.Kernels, sT.Kernels, fT.Kernels = cpu.KernelGo, cpu.KernelSIMD, cpu.KernelFMA
+	hasSIMD := cpu.Resolve(cpu.KernelSIMD) == cpu.KernelSIMD
+	hasFMA := cpu.Resolve(cpu.KernelFMA) == cpu.KernelFMA
 
-	rep := denseReport{GOMAXPROCS: gomaxprocs, Summary: map[string]float64{}}
-	fmt.Fprintf(out, "%-5s %6s %4s  %12s %12s %8s %10s\n",
-		"op", "n", "k", "legacy", "tuned", "speedup", "maxdiff")
+	rep := denseReport{
+		GOMAXPROCS:  gomaxprocs,
+		CPUFeatures: cpu.Supported().Summary(),
+		Kernels:     cpu.Resolve(cpu.KernelAuto).String(),
+		Summary:     map[string]float64{},
+	}
+	fmt.Fprintf(out, "%-5s %6s %4s  %12s %12s %8s %10s %12s %12s %7s\n",
+		"op", "n", "k", "legacy", "tuned", "speedup", "maxdiff", "go", "simd", "simdx")
 	for _, n := range ns {
 		for _, k := range ks {
 			a := dense.Random(n, k, rand.New(rand.NewPCG(11, uint64(n+k))))
@@ -77,21 +98,26 @@ func runDenseBench(out io.Writer, gomaxprocs int, quick bool) denseReport {
 				var runLegacy, runTuned func()
 				var ref, got *dense.Matrix
 				var refR, gotR *dense.Matrix
+				var flavor func(dense.Tuning) (*dense.Matrix, *dense.Matrix)
 				switch op {
 				case "mul": // tall · small: the KSI projection shape
 					runLegacy = func() { ref = dense.MulOpts(a, s, legacy) }
 					runTuned = func() { got = dense.MulOpts(a, s, tuned) }
+					flavor = func(t dense.Tuning) (*dense.Matrix, *dense.Matrix) { return dense.MulOpts(a, s, t), nil }
 				case "tmul": // tallᵀ · tall: the Gram/subspace-overlap shape
 					runLegacy = func() { ref = dense.TMulOpts(a, b, legacy) }
 					runTuned = func() { got = dense.TMulOpts(a, b, tuned) }
+					flavor = func(t dense.Tuning) (*dense.Matrix, *dense.Matrix) { return dense.TMulOpts(a, b, t), nil }
 				case "mult": // tall · smallᵀ: the eval scoring shape
 					runLegacy = func() { ref = dense.MulTOpts(a, s, legacy) }
 					runTuned = func() { got = dense.MulTOpts(a, s, tuned) }
+					flavor = func(t dense.Tuning) (*dense.Matrix, *dense.Matrix) { return dense.MulTOpts(a, s, t), nil }
 				case "qr":
 					runLegacy = func() { ref, refR = dense.QROpts(a, legacy) }
 					runTuned = func() { got, gotR = dense.QROpts(a, tuned) }
+					flavor = func(t dense.Tuning) (*dense.Matrix, *dense.Matrix) { q, r := dense.QROpts(a, t); return q, r }
 				}
-				cell := denseCell{Op: op, N: n, K: k}
+				cell := denseCell{Op: op, N: n, K: k, SIMDBitwise: true}
 				fmaLegacy := denseFMAForCall(runLegacy)
 				fmaTuned := denseFMAForCall(runTuned)
 				cell.FMAPerCall = fmaTuned
@@ -107,10 +133,32 @@ func runDenseBench(out io.Writer, gomaxprocs int, quick bool) denseReport {
 				if cell.TunedSeconds > 0 {
 					cell.Speedup = cell.LegacySeconds / cell.TunedSeconds
 				}
+				goOut, goOutR := flavor(goT)
+				cell.GoSeconds = timeProduct(func() { flavor(goT) }, minSpan)
+				if hasSIMD {
+					sOut, sOutR := flavor(sT)
+					cell.SIMDBitwise = benchBitsEqual(goOut, sOut) &&
+						(sOutR == nil || benchBitsEqual(goOutR, sOutR))
+					cell.SIMDSeconds = timeProduct(func() { flavor(sT) }, minSpan)
+					if cell.SIMDSeconds > 0 {
+						cell.SIMDSpeedup = cell.GoSeconds / cell.SIMDSeconds
+					}
+				}
+				if hasFMA {
+					fOut, fOutR := flavor(fT)
+					cell.FMARelErr = benchMaxRelErr(goOut, fOut)
+					if fOutR != nil {
+						if e := benchMaxRelErr(goOutR, fOutR); e > cell.FMARelErr {
+							cell.FMARelErr = e
+						}
+					}
+					cell.FMASeconds = timeProduct(func() { flavor(fT) }, minSpan)
+				}
 				rep.Cells = append(rep.Cells, cell)
-				fmt.Fprintf(out, "%-5s %6d %4d  %10.3fms %10.3fms %7.2fx %10.2e\n",
+				fmt.Fprintf(out, "%-5s %6d %4d  %10.3fms %10.3fms %7.2fx %10.2e %10.3fms %10.3fms %6.2fx\n",
 					op, n, k, cell.LegacySeconds*1e3, cell.TunedSeconds*1e3,
-					cell.Speedup, cell.MaxAbsDiff)
+					cell.Speedup, cell.MaxAbsDiff,
+					cell.GoSeconds*1e3, cell.SIMDSeconds*1e3, cell.SIMDSpeedup)
 			}
 		}
 	}
@@ -118,6 +166,8 @@ func runDenseBench(out io.Writer, gomaxprocs int, quick bool) denseReport {
 	// Summary scalars the CI acceptance check and README point at.
 	allFMA, maxDiff := 1.0, 0.0
 	qrBest, qrMin := 0.0, 0.0
+	simdBitwise, fmaMaxRel := 1.0, 0.0
+	k16Best, panel8Best := 0.0, 0.0
 	gemmBest := map[string]float64{"mul": 0, "tmul": 0, "mult": 0}
 	for _, c := range rep.Cells {
 		if !c.FMAMatch {
@@ -125,6 +175,18 @@ func runDenseBench(out io.Writer, gomaxprocs int, quick bool) denseReport {
 		}
 		if c.MaxAbsDiff > maxDiff {
 			maxDiff = c.MaxAbsDiff
+		}
+		if !c.SIMDBitwise {
+			simdBitwise = 0
+		}
+		if c.FMARelErr > fmaMaxRel {
+			fmaMaxRel = c.FMARelErr
+		}
+		if c.K == 16 && c.SIMDSpeedup > k16Best {
+			k16Best = c.SIMDSpeedup
+		}
+		if c.K >= 24 && c.K%8 == 0 && c.SIMDSpeedup > panel8Best {
+			panel8Best = c.SIMDSpeedup
 		}
 		if c.Op == "qr" {
 			if c.Speedup > qrBest {
@@ -150,9 +212,15 @@ func runDenseBench(out io.Writer, gomaxprocs int, quick bool) denseReport {
 	rep.Summary["mult_speedup_best"] = gemmBest["mult"]
 	rep.Summary["all_fma_match"] = allFMA
 	rep.Summary["max_abs_diff"] = maxDiff
+	rep.Summary["simd_bitwise"] = simdBitwise
+	rep.Summary["fma_max_rel_err"] = fmaMaxRel
+	rep.Summary["simd_speedup_k16_best"] = k16Best
+	rep.Summary["simd_speedup_panel8_best"] = panel8Best
 	fmt.Fprintf(out, "\nQR speedup: min %.2fx (k≥16), best %.2fx\n", qrMin, qrBest)
 	fmt.Fprintf(out, "GEMM best speedup: mul %.2fx, tmul %.2fx, mult %.2fx\n",
 		gemmBest["mul"], gemmBest["tmul"], gemmBest["mult"])
 	fmt.Fprintf(out, "fma counts identical: %v; max |diff|: %.2e\n", allFMA == 1, maxDiff)
+	fmt.Fprintf(out, "SIMD (%s, default %s): bitwise %v, k16 best %.2fx, panel8 best %.2fx, fma rel err %.2e\n",
+		rep.CPUFeatures, rep.Kernels, simdBitwise == 1, k16Best, panel8Best, fmaMaxRel)
 	return rep
 }

@@ -3,9 +3,11 @@ package main
 import (
 	"fmt"
 	"io"
+	"math"
 	"math/rand/v2"
 	"time"
 
+	"gebe/internal/cpu"
 	"gebe/internal/dense"
 	"gebe/internal/obs"
 	"gebe/internal/sparse"
@@ -35,13 +37,54 @@ type spmmCell struct {
 	MaxAbsDiff    float64 `json:"max_abs_diff"`
 	FMAPerCall    float64 `json:"fma_per_call"`
 	FMAMatch      bool    `json:"fma_match"`
+	// The kernel-flavor grid: the tuned engine timed with each flavor
+	// pinned through Tuning.Kernels. SIMD cells are zero when the CPU
+	// has no vector kernels (or under -tags purego); SIMDSpeedup is
+	// go_seconds / simd_seconds, the number the regress floor gates.
+	GoSeconds   float64 `json:"go_seconds,omitempty"`
+	SIMDSeconds float64 `json:"simd_seconds,omitempty"`
+	FMASeconds  float64 `json:"fma_seconds,omitempty"`
+	SIMDSpeedup float64 `json:"simd_speedup,omitempty"`
+	SIMDBitwise bool    `json:"simd_bitwise"`
+	FMARelErr   float64 `json:"fma_rel_err,omitempty"`
 }
 
 // spmmReport is the Rows payload of the SPMM entry in the -json report.
 type spmmReport struct {
-	GOMAXPROCS int                `json:"gomaxprocs"`
-	Cells      []spmmCell         `json:"cells"`
-	Summary    map[string]float64 `json:"summary"`
+	GOMAXPROCS  int                `json:"gomaxprocs"`
+	CPUFeatures string             `json:"cpu_features"`
+	Kernels     string             `json:"kernels"`
+	Cells       []spmmCell         `json:"cells"`
+	Summary     map[string]float64 `json:"summary"`
+}
+
+// benchBitsEqual reports whether two engine outputs are bitwise
+// identical — the contract the non-fused SIMD flavor makes with the Go
+// kernels.
+func benchBitsEqual(a, b *dense.Matrix) bool {
+	for i := range a.Data {
+		if math.Float64bits(a.Data[i]) != math.Float64bits(b.Data[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// benchMaxRelErr is the worst elementwise deviation of got from want,
+// relative for magnitudes above 1 — the tolerance the fused flavor is
+// gated on.
+func benchMaxRelErr(want, got *dense.Matrix) float64 {
+	worst := 0.0
+	for i := range want.Data {
+		d := math.Abs(want.Data[i] - got.Data[i])
+		if s := math.Abs(want.Data[i]); s > 1 {
+			d /= s
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
 }
 
 type spmmShape struct {
@@ -113,13 +156,20 @@ func runKernelBench(out io.Writer, gomaxprocs int) spmmReport {
 		// gather retires the legacy per-worker scatter accumulators.
 		{name: "skewed-wide", rows: 8000, cols: 30000, nnz: 600000, skewed: true},
 	}
-	ks := []int{5, 8, 32}
+	ks := []int{5, 8, 16, 32}
 	threadSet := []int{1, 4}
 	const minSpan = 200 * time.Millisecond
+	hasSIMD := cpu.Resolve(cpu.KernelSIMD) == cpu.KernelSIMD
+	hasFMA := cpu.Resolve(cpu.KernelFMA) == cpu.KernelFMA
 
-	rep := spmmReport{GOMAXPROCS: gomaxprocs, Summary: map[string]float64{}}
-	fmt.Fprintf(out, "%-14s %-5s %3s %3s  %12s %12s %8s %10s\n",
-		"shape", "op", "k", "thr", "legacy", "tuned", "speedup", "maxdiff")
+	rep := spmmReport{
+		GOMAXPROCS:  gomaxprocs,
+		CPUFeatures: cpu.Supported().Summary(),
+		Kernels:     cpu.Resolve(cpu.KernelAuto).String(),
+		Summary:     map[string]float64{},
+	}
+	fmt.Fprintf(out, "%-14s %-5s %3s %3s  %12s %12s %8s %10s %12s %12s %7s\n",
+		"shape", "op", "k", "thr", "legacy", "tuned", "speedup", "maxdiff", "go", "simd", "simdx")
 	for si, s := range shapes {
 		m := benchCSR(s, uint64(100+si))
 		m.Transpose() // pay the cached build before any timed tmul
@@ -130,19 +180,25 @@ func runKernelBench(out io.Writer, gomaxprocs int) spmmReport {
 				for _, th := range threadSet {
 					legacy := sparse.Tuning{Threads: th, Strategy: sparse.StrategyLegacy}
 					tuned := sparse.Tuning{Threads: th, Strategy: sparse.StrategyAuto}
+					goT, sT, fT := tuned, tuned, tuned
+					goT.Kernels, sT.Kernels, fT.Kernels = cpu.KernelGo, cpu.KernelSIMD, cpu.KernelFMA
 					var runLegacy, runTuned func()
 					var ref, got *dense.Matrix
+					var flavor func(sparse.Tuning) *dense.Matrix
 					if op == "mul" {
 						runLegacy = func() { ref = m.MulDenseOpts(b, legacy) }
 						runTuned = func() { got = m.MulDenseOpts(b, tuned) }
+						flavor = func(t sparse.Tuning) *dense.Matrix { return m.MulDenseOpts(b, t) }
 					} else {
 						runLegacy = func() { ref = m.TMulDenseOpts(bt, legacy) }
 						runTuned = func() { got = m.TMulDenseOpts(bt, tuned) }
+						flavor = func(t sparse.Tuning) *dense.Matrix { return m.TMulDenseOpts(bt, t) }
 					}
 					cell := spmmCell{
 						Shape: s.name, Rows: s.rows, Cols: s.cols, NNZ: m.NNZ(),
 						Op: op, K: k, Threads: th,
-						FMAPerCall: float64(m.NNZ()) * float64(k),
+						FMAPerCall:  float64(m.NNZ()) * float64(k),
+						SIMDBitwise: true,
 					}
 					fmaLegacy := fmaForCall(runLegacy)
 					fmaTuned := fmaForCall(runTuned)
@@ -153,11 +209,25 @@ func runKernelBench(out io.Writer, gomaxprocs int) spmmReport {
 					if cell.TunedSeconds > 0 {
 						cell.Speedup = cell.LegacySeconds / cell.TunedSeconds
 					}
+					goOut := flavor(goT)
+					cell.GoSeconds = timeProduct(func() { flavor(goT) }, minSpan)
+					if hasSIMD {
+						cell.SIMDBitwise = benchBitsEqual(goOut, flavor(sT))
+						cell.SIMDSeconds = timeProduct(func() { flavor(sT) }, minSpan)
+						if cell.SIMDSeconds > 0 {
+							cell.SIMDSpeedup = cell.GoSeconds / cell.SIMDSeconds
+						}
+					}
+					if hasFMA {
+						cell.FMARelErr = benchMaxRelErr(goOut, flavor(fT))
+						cell.FMASeconds = timeProduct(func() { flavor(fT) }, minSpan)
+					}
 					rep.Cells = append(rep.Cells, cell)
-					fmt.Fprintf(out, "%-14s %-5s %3d %3d  %10.3fms %10.3fms %7.2fx %10.2e\n",
+					fmt.Fprintf(out, "%-14s %-5s %3d %3d  %10.3fms %10.3fms %7.2fx %10.2e %10.3fms %10.3fms %6.2fx\n",
 						s.name, op, k, th,
 						cell.LegacySeconds*1e3, cell.TunedSeconds*1e3,
-						cell.Speedup, cell.MaxAbsDiff)
+						cell.Speedup, cell.MaxAbsDiff,
+						cell.GoSeconds*1e3, cell.SIMDSeconds*1e3, cell.SIMDSpeedup)
 				}
 			}
 		}
@@ -166,12 +236,26 @@ func runKernelBench(out io.Writer, gomaxprocs int) spmmReport {
 	// Summary scalars the CI acceptance check and README point at.
 	allFMA, maxDiff := 1.0, 0.0
 	tmulSkewedMin, mulBest := 0.0, 0.0
+	simdBitwise, fmaMaxRel := 1.0, 0.0
+	k16Best, panel8Best := 0.0, 0.0
 	for _, c := range rep.Cells {
 		if !c.FMAMatch {
 			allFMA = 0
 		}
 		if c.MaxAbsDiff > maxDiff {
 			maxDiff = c.MaxAbsDiff
+		}
+		if !c.SIMDBitwise {
+			simdBitwise = 0
+		}
+		if c.FMARelErr > fmaMaxRel {
+			fmaMaxRel = c.FMARelErr
+		}
+		if c.K == 16 && c.SIMDSpeedup > k16Best {
+			k16Best = c.SIMDSpeedup
+		}
+		if c.K >= 24 && c.K%8 == 0 && c.SIMDSpeedup > panel8Best {
+			panel8Best = c.SIMDSpeedup
 		}
 		// Headline numbers cover the block widths GEBE embeds at (k≥8;
 		// the paper sweeps k∈{16..128}) — at k=5 the legacy scatter's
@@ -188,8 +272,14 @@ func runKernelBench(out io.Writer, gomaxprocs int) spmmReport {
 	rep.Summary["mul_speedup_best"] = mulBest
 	rep.Summary["all_fma_match"] = allFMA
 	rep.Summary["max_abs_diff"] = maxDiff
+	rep.Summary["simd_bitwise"] = simdBitwise
+	rep.Summary["fma_max_rel_err"] = fmaMaxRel
+	rep.Summary["simd_speedup_k16_best"] = k16Best
+	rep.Summary["simd_speedup_panel8_best"] = panel8Best
 	fmt.Fprintf(out, "\nTMulDense skewed-wide speedup (min, 4 threads): %.2fx\n", tmulSkewedMin)
 	fmt.Fprintf(out, "MulDense best speedup: %.2fx; fma counts identical: %v; max |diff|: %.2e\n",
 		mulBest, allFMA == 1, maxDiff)
+	fmt.Fprintf(out, "SIMD (%s, default %s): bitwise %v, k16 best %.2fx, panel8 best %.2fx, fma rel err %.2e\n",
+		rep.CPUFeatures, rep.Kernels, simdBitwise == 1, k16Best, panel8Best, fmaMaxRel)
 	return rep
 }

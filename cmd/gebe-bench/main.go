@@ -40,6 +40,12 @@ import (
 	"gebe/internal/sparse"
 )
 
+// simdFMATol bounds the fused flavor's elementwise deviation from the
+// Go oracle across the bench grids. Wider than the unit tests' 1e-12:
+// the grids reduce over up to 20000-term inner products, so the
+// re-rounding headroom scales with the reduction length.
+const simdFMATol = 1e-9
+
 // benchResult is one experiment's entry in the -json report.
 type benchResult struct {
 	Experiment     string  `json:"experiment"`
@@ -89,6 +95,13 @@ func main() {
 			}
 		}
 		stop()
+		// A vector kernel that does not reproduce the Go oracle is a
+		// correctness failure, not a slow run.
+		if rows.Summary["simd_bitwise"] != 1 || rows.Summary["fma_max_rel_err"] > simdFMATol {
+			fmt.Fprintf(os.Stderr, "gebe-bench: SIMD kernels diverge from the Go oracle (bitwise %v, fma rel err %.3e)\n",
+				rows.Summary["simd_bitwise"] == 1, rows.Summary["fma_max_rel_err"])
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -110,6 +123,11 @@ func main() {
 		if rows.Summary["max_abs_diff"] > 1e-12 || rows.Summary["all_fma_match"] != 1 {
 			fmt.Fprintf(os.Stderr, "gebe-bench: dense engine diverges from legacy (max |diff| %.3e, fma match %v)\n",
 				rows.Summary["max_abs_diff"], rows.Summary["all_fma_match"] == 1)
+			os.Exit(1)
+		}
+		if rows.Summary["simd_bitwise"] != 1 || rows.Summary["fma_max_rel_err"] > simdFMATol {
+			fmt.Fprintf(os.Stderr, "gebe-bench: SIMD kernels diverge from the Go oracle (bitwise %v, fma rel err %.3e)\n",
+				rows.Summary["simd_bitwise"] == 1, rows.Summary["fma_max_rel_err"])
 			os.Exit(1)
 		}
 		return

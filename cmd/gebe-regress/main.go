@@ -8,8 +8,10 @@
 // reports (BENCH_SPMM/DENSE/ANN.json, written by gebe-bench
 // -kernels/-dense/-ann -json) — detecting the kind from the file
 // contents. Kernel grids are machine-normalized through their legacy
-// timings before gating; ANN reports additionally gate recall@10
-// against -recall-floor and the full-probe bitwise contract.
+// timings before gating, and additionally gate the vector kernels'
+// best-in-class SIMD-over-Go speedup against -simd-floor; ANN reports
+// additionally gate recall@10 against -recall-floor and the full-probe
+// bitwise contract.
 //
 //	gebe-regress -old results/SERVE_LATENCY.json -new /tmp/fresh.json \
 //	    -ratio 5 -min-delta 25ms
@@ -36,6 +38,7 @@ func main() {
 		minDelta = flag.Duration("min-delta", 25*time.Millisecond, "absolute increase floor; smaller deltas never fail")
 		minCount = flag.Uint64("min-count", 1, "skip endpoints with fewer samples on either side")
 		recall   = flag.Float64("recall-floor", 0.95, "minimum recall@10 at the default probe (ann reports only)")
+		simd     = flag.Float64("simd-floor", 1.3, "minimum best-in-class SIMD-over-Go kernel speedup for the k16 and panel8 width classes (bench reports only; 0 disables)")
 	)
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" {
@@ -49,6 +52,7 @@ func main() {
 		MinDelta:    minDelta.Seconds(),
 		MinCount:    *minCount,
 		RecallFloor: *recall,
+		SIMDFloor:   *simd,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gebe-regress:", err)

@@ -1,0 +1,178 @@
+// Package cpu detects the SIMD capabilities of the machine at run time
+// and owns the kernel-flavor selection the sparse and dense engines
+// dispatch through. It is deliberately leaf-level (stdlib only) so obs,
+// sparse, dense, and the commands can all import it.
+//
+// Three layers compose:
+//
+//   - Supported() reports what the hardware can do: AVX2/FMA via CPUID
+//     (including the XGETBV check that the OS saves ymm state) on amd64,
+//     NEON on arm64 (ASIMD is mandatory there). Under the purego build
+//     tag, or on any other architecture, it reports nothing.
+//   - The GEBE_SIMD environment variable overrides the *default* flavor
+//     ("off"/"go" forces scalar Go kernels, "simd" the non-fused vector
+//     kernels, "fma" the fused ones); it never changes what Supported()
+//     reports, so tests can still opt back in per call through Tuning.
+//   - Resolve maps a Tuning's KernelMode to the flavor that will really
+//     run, falling back (fma → simd → go) when the hardware or build
+//     lacks a level.
+//
+// The contract the flavors keep: KernelGo and KernelSIMD are bitwise
+// identical (the vector kernels replay the scalar accumulation order,
+// non-fused on amd64; on arm64 the Go compiler already fuses, so the
+// NEON kernels fuse too and KernelFMA is the same code). KernelFMA on
+// amd64 contracts each multiply-add into one rounding and is gated by a
+// relative-error tolerance instead.
+package cpu
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+)
+
+// Features describes the vector capabilities detection found.
+type Features struct {
+	// AVX2 means 256-bit vector float kernels are usable (implies AVX
+	// and OS ymm-state support). amd64 only.
+	AVX2 bool `json:"avx2,omitempty"`
+	// FMA means the fused multiply-add variants are usable. amd64 only
+	// (on arm64 fusing is the baseline, reported via NEON).
+	FMA bool `json:"fma,omitempty"`
+	// NEON means 128-bit ASIMD kernels are usable. arm64 only.
+	NEON bool `json:"neon,omitempty"`
+}
+
+var (
+	detectOnce sync.Once
+	detected   Features
+)
+
+// Supported returns the hardware's vector capabilities, detected once.
+// It ignores GEBE_SIMD: the environment changes defaults, not facts.
+func Supported() Features {
+	detectOnce.Do(func() { detected = detect() })
+	return detected
+}
+
+// HasSIMD reports whether the non-fused vector flavor exists on this
+// hardware and build.
+func (f Features) HasSIMD() bool { return f.AVX2 || f.NEON }
+
+// HasFMA reports whether the fused flavor exists. On arm64 NEON implies
+// it (FMLA is the baseline there).
+func (f Features) HasFMA() bool { return (f.AVX2 && f.FMA) || f.NEON }
+
+// Summary renders the feature set the way run metadata records it:
+// "avx2,fma", "avx2", "neon", or "none".
+func (f Features) Summary() string {
+	var parts []string
+	if f.AVX2 {
+		parts = append(parts, "avx2")
+	}
+	if f.FMA {
+		parts = append(parts, "fma")
+	}
+	if f.NEON {
+		parts = append(parts, "neon")
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// KernelMode selects the inner-kernel flavor a product runs with. The
+// zero value is the right default for every caller: vectorized when the
+// machine supports it, bitwise identical to the scalar path.
+type KernelMode int
+
+const (
+	// KernelAuto resolves to the default flavor: KernelSIMD when
+	// supported (unless GEBE_SIMD says otherwise), else KernelGo.
+	KernelAuto KernelMode = iota
+	// KernelGo forces the retained scalar Go kernels — the correctness
+	// oracle, and the only flavor under the purego build tag.
+	KernelGo
+	// KernelSIMD forces the non-fused vector kernels; falls back to
+	// KernelGo where unsupported. Bitwise identical to KernelGo.
+	KernelSIMD
+	// KernelFMA opts into the fused vector kernels; falls back to
+	// KernelSIMD, then KernelGo. On amd64 results differ from the
+	// scalar path by one rounding per multiply-add (tolerance-gated);
+	// on arm64 it is the same code as KernelSIMD.
+	KernelFMA
+)
+
+// String names the mode as it appears in metrics and run metadata.
+func (m KernelMode) String() string {
+	switch m {
+	case KernelAuto:
+		return "auto"
+	case KernelGo:
+		return "go"
+	case KernelSIMD:
+		return "simd"
+	case KernelFMA:
+		return "fma"
+	default:
+		return fmt.Sprintf("KernelMode(%d)", int(m))
+	}
+}
+
+// Valid reports whether m is one of the defined modes.
+func (m KernelMode) Valid() bool {
+	return m >= KernelAuto && m <= KernelFMA
+}
+
+var (
+	defaultOnce sync.Once
+	defaultMode KernelMode
+)
+
+// envDefault maps GEBE_SIMD to the mode KernelAuto resolves toward.
+// Unknown values behave like "auto" rather than failing: a typo in an
+// env var must not change numerical behavior, and auto is the safe
+// (bitwise-identical) choice.
+func envDefault(val string) KernelMode {
+	switch strings.ToLower(strings.TrimSpace(val)) {
+	case "off", "go", "scalar":
+		return KernelGo
+	case "fma":
+		return KernelFMA
+	default: // "", "auto", "on", "simd", anything else
+		return KernelSIMD
+	}
+}
+
+// Default returns the flavor KernelAuto resolves to on this machine:
+// the GEBE_SIMD preference clamped to what Supported() allows.
+func Default() KernelMode {
+	defaultOnce.Do(func() {
+		defaultMode = clamp(envDefault(os.Getenv("GEBE_SIMD")))
+	})
+	return defaultMode
+}
+
+// clamp lowers a mode until the hardware supports it.
+func clamp(m KernelMode) KernelMode {
+	f := Supported()
+	if m == KernelFMA && !f.HasFMA() {
+		m = KernelSIMD
+	}
+	if m == KernelSIMD && !f.HasSIMD() {
+		m = KernelGo
+	}
+	return m
+}
+
+// Resolve maps a Tuning's mode to the flavor that will actually run:
+// Auto becomes the machine default, explicit requests are clamped to
+// what the hardware and build support.
+func Resolve(m KernelMode) KernelMode {
+	if m == KernelAuto {
+		return Default()
+	}
+	return clamp(m)
+}

@@ -1,0 +1,37 @@
+//go:build amd64 && !purego
+
+package cpu
+
+// Implemented in cpuid_amd64.s.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv() (eax, edx uint32)
+
+// detect probes CPUID for AVX2 and FMA3. The OSXSAVE + XGETBV dance
+// matters: a hypervisor or kernel that does not save ymm state leaves
+// the AVX bits set in CPUID while making every VEX instruction fault,
+// so all three gates (AVX + OSXSAVE + XCR0 xmm/ymm) must pass before
+// the leaf-7 AVX2 bit is believed.
+func detect() Features {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return Features{}
+	}
+	_, _, c1, _ := cpuid(1, 0)
+	const (
+		cpuidFMA     = 1 << 12
+		cpuidOSXSAVE = 1 << 27
+		cpuidAVX     = 1 << 28
+	)
+	if c1&cpuidOSXSAVE == 0 || c1&cpuidAVX == 0 {
+		return Features{}
+	}
+	if xcr0, _ := xgetbv(); xcr0&0x6 != 0x6 { // xmm and ymm state enabled
+		return Features{}
+	}
+	_, b7, _, _ := cpuid(7, 0)
+	const cpuidAVX2 = 1 << 5
+	if b7&cpuidAVX2 == 0 {
+		return Features{}
+	}
+	return Features{AVX2: true, FMA: c1&cpuidFMA != 0}
+}

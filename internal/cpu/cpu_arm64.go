@@ -1,0 +1,10 @@
+//go:build arm64 && !purego
+
+package cpu
+
+// detect reports NEON unconditionally: ASIMD with double-precision
+// lanes is mandatory in the ARMv8-A baseline Go's arm64 port targets,
+// so there is nothing to probe.
+func detect() Features {
+	return Features{NEON: true}
+}

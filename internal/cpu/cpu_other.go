@@ -1,0 +1,9 @@
+//go:build purego || (!amd64 && !arm64)
+
+package cpu
+
+// detect under the purego tag (or on architectures without kernels)
+// reports nothing: every dispatch resolves to the scalar Go oracle.
+func detect() Features {
+	return Features{}
+}

@@ -51,7 +51,7 @@ func mulExec(out, a, b *Matrix, t Tuning) {
 		gm.record(dopMul, t0, flops, "legacy", "generic")
 		return
 	}
-	kern, kname := dispatchMul(k)
+	kern, kname := dispatchMul(k, t.Kernels)
 	nw := t.workers(flops, a.Rows)
 	if nw <= 1 {
 		kern(a.Data, b.Data, out.Data, inner, k, 0, a.Rows)
@@ -101,7 +101,7 @@ func mulTExec(out, a, b *Matrix, t Tuning) {
 		gm.record(dopMulT, t0, flops, "legacy", "generic")
 		return
 	}
-	kern, kname := dispatchMulT(p)
+	kern, kname := dispatchMulT(p, t.Kernels)
 	nw := t.workers(flops, a.Rows)
 	if nw <= 1 {
 		kern(a.Data, b.Data, out.Data, inner, p, 0, a.Rows)
@@ -154,7 +154,7 @@ func tmulExec(out, a, b *Matrix, t Tuning) {
 		gm.record(dopTMul, t0, flops, "legacy", "generic")
 		return
 	}
-	kern, kname := dispatchTMul(k1, k2)
+	kern, kname := dispatchTMul(k1, k2, t.Kernels)
 	nw := t.workers(flops, a.Rows)
 	if nw <= 1 {
 		kern(a.Data, b.Data, out.Data, k1, k2, 0, a.Rows)

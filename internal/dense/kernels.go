@@ -1,5 +1,7 @@
 package dense
 
+import "gebe/internal/cpu"
+
 // The inner GEMM kernels. Every kernel performs exactly rows·inner·cols
 // multiply-adds for its assigned row range — the engine's fma counter is
 // strategy- and kernel-independent, which is what lets the equivalence
@@ -31,20 +33,28 @@ package dense
 // b/out row stride k). Output rows must be zero on entry.
 type mulKernel func(ad, bd, od []float64, inner, k, lo, hi int)
 
-// dispatchMul picks the widest kernel that tiles a k-column block.
-func dispatchMul(k int) (mulKernel, string) {
-	switch {
-	case k == 4:
-		return mulK4, "k4"
-	case k == 8:
-		return mulK8, "k8"
-	case k == 16:
-		return mulK16, "k16"
-	case k > 16 && k%8 == 0:
-		return mulPanel8, "panel8"
-	default:
-		return mulGeneric, "generic"
-	}
+// The dispatch tables. Scalar Go kernels are installed here; the vector
+// flavors register from kernels_simd.go when the CPU supports them, and
+// Pick applies the shared width classification plus fma → simd → go
+// fallback from internal/cpu. MulT and TMul pick by shape threshold
+// rather than width class, so they use the width-free Variants form.
+var (
+	mulKernels  = cpu.NewTable[mulKernel](mulGeneric, "generic")
+	mulTKernels = cpu.NewVariants[mulTKernel](mulTDot4, "dot4")
+	tmulKernels = cpu.NewVariants[tmulKernel](tmulBlocked, "b2x4")
+)
+
+func init() {
+	mulKernels.SetGo(cpu.WidthK4, mulK4, "k4")
+	mulKernels.SetGo(cpu.WidthK8, mulK8, "k8")
+	mulKernels.SetGo(cpu.WidthK16, mulK16, "k16")
+	mulKernels.SetGo(cpu.WidthPanel8, mulPanel8, "panel8")
+}
+
+// dispatchMul picks the widest kernel that tiles a k-column block under
+// the requested flavor.
+func dispatchMul(k int, mode cpu.KernelMode) (mulKernel, string) {
+	return mulKernels.Pick(k, mode)
 }
 
 // mulGeneric is the pre-engine ikj loop, byte-for-byte the old Mul body:
@@ -208,9 +218,9 @@ func mulTDot4(ad, bd, od []float64, inner, p, lo, hi int) {
 
 // dispatchMulT picks the blocked kernel whenever there are enough output
 // columns to fill a 4-wide tile at least once.
-func dispatchMulT(p int) (mulTKernel, string) {
+func dispatchMulT(p int, mode cpu.KernelMode) (mulTKernel, string) {
 	if p >= 4 {
-		return mulTDot4, "dot4"
+		return mulTKernels.Pick(mode)
 	}
 	return mulTGeneric, "generic"
 }
@@ -300,9 +310,9 @@ func tmulBlocked(ad, bd, od []float64, k1, k2, lo, hi int) {
 }
 
 // dispatchTMul picks the blocked kernel whenever a 2×4 tile fits.
-func dispatchTMul(k1, k2 int) (tmulKernel, string) {
+func dispatchTMul(k1, k2 int, mode cpu.KernelMode) (tmulKernel, string) {
 	if k1 >= 2 && k2 >= 4 {
-		return tmulBlocked, "b2x4"
+		return tmulKernels.Pick(mode)
 	}
 	return tmulGeneric, "generic"
 }

@@ -1,0 +1,229 @@
+package dense
+
+import (
+	"gebe/internal/cpu"
+	"gebe/internal/simd"
+)
+
+// The vector kernel flavors: thin wrappers over internal/simd row and
+// tile primitives, registered once per process when the CPU supports
+// them. Each wrapper visits elements in the same order as its scalar
+// twin, so the non-fused flavor stays bitwise identical to the Go
+// oracle. Two deliberate regroupings that do NOT change any per-element
+// sum: panel blocks use 16-wide sub-panels when they fit (half the
+// re-scans of the input row), and the Aᵀ·B tile kernel accumulates over
+// 32-row chunks instead of 8 (the tile is seeded from the output and
+// stored back, so chunk length never splits a sum).
+
+func init() {
+	if !simd.HasSIMD() {
+		return
+	}
+	sn := "+" + simd.SIMDName()
+	mulKernels.Register(cpu.WidthK8, cpu.KernelSIMD, mulK8SIMD, "k8"+sn)
+	mulKernels.Register(cpu.WidthK16, cpu.KernelSIMD, mulK16SIMD, "k16"+sn)
+	mulKernels.Register(cpu.WidthPanel8, cpu.KernelSIMD, mulPanel8SIMD, "panel8"+sn)
+	mulTKernels.Register(cpu.KernelSIMD, mulTDot4SIMD, "dot4"+sn)
+	tmulKernels.Register(cpu.KernelSIMD, tmulBlockedSIMD, "b2x4"+sn)
+	if !simd.HasFMA() {
+		return
+	}
+	fn := "+" + simd.FMAName()
+	mulKernels.Register(cpu.WidthK8, cpu.KernelFMA, mulK8FMA, "k8"+fn)
+	mulKernels.Register(cpu.WidthK16, cpu.KernelFMA, mulK16FMA, "k16"+fn)
+	mulKernels.Register(cpu.WidthPanel8, cpu.KernelFMA, mulPanel8FMA, "panel8"+fn)
+	mulTKernels.Register(cpu.KernelFMA, mulTDot4FMA, "dot4"+fn)
+	tmulKernels.Register(cpu.KernelFMA, tmulBlockedFMA, "b2x4"+fn)
+}
+
+func mulK8SIMD(ad, bd, od []float64, inner, _, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		var acc [8]float64
+		simd.SaxpyRows8(ad[i*inner:][:inner], bd, 8, &acc)
+		copy(od[i*8:][:8], acc[:])
+	}
+}
+
+func mulK8FMA(ad, bd, od []float64, inner, _, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		var acc [8]float64
+		simd.SaxpyRows8FMA(ad[i*inner:][:inner], bd, 8, &acc)
+		copy(od[i*8:][:8], acc[:])
+	}
+}
+
+func mulK16SIMD(ad, bd, od []float64, inner, _, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		var acc [16]float64
+		simd.SaxpyRows16(ad[i*inner:][:inner], bd, 16, &acc)
+		copy(od[i*16:][:16], acc[:])
+	}
+}
+
+func mulK16FMA(ad, bd, od []float64, inner, _, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		var acc [16]float64
+		simd.SaxpyRows16FMA(ad[i*inner:][:inner], bd, 16, &acc)
+		copy(od[i*16:][:16], acc[:])
+	}
+}
+
+func mulPanel8SIMD(ad, bd, od []float64, inner, k, lo, hi int) {
+	if inner == 0 {
+		// Nothing to accumulate and bd is empty; output rows are zero
+		// on entry (the mulKernel contract), matching the scalar kernel's
+		// explicit zero stores.
+		return
+	}
+	for i := lo; i < hi; i++ {
+		arow := ad[i*inner:][:inner]
+		j0 := 0
+		for ; j0+16 <= k; j0 += 16 {
+			var acc [16]float64
+			simd.SaxpyRows16(arow, bd[j0:], k, &acc)
+			copy(od[i*k+j0:][:16], acc[:])
+		}
+		for ; j0 < k; j0 += 8 {
+			var acc [8]float64
+			simd.SaxpyRows8(arow, bd[j0:], k, &acc)
+			copy(od[i*k+j0:][:8], acc[:])
+		}
+	}
+}
+
+func mulPanel8FMA(ad, bd, od []float64, inner, k, lo, hi int) {
+	if inner == 0 {
+		return
+	}
+	for i := lo; i < hi; i++ {
+		arow := ad[i*inner:][:inner]
+		j0 := 0
+		for ; j0+16 <= k; j0 += 16 {
+			var acc [16]float64
+			simd.SaxpyRows16FMA(arow, bd[j0:], k, &acc)
+			copy(od[i*k+j0:][:16], acc[:])
+		}
+		for ; j0 < k; j0 += 8 {
+			var acc [8]float64
+			simd.SaxpyRows8FMA(arow, bd[j0:], k, &acc)
+			copy(od[i*k+j0:][:8], acc[:])
+		}
+	}
+}
+
+func mulTDot4SIMD(ad, bd, od []float64, inner, p, lo, hi int) {
+	j4 := p - p%4
+	for i := lo; i < hi; i++ {
+		arow := ad[i*inner:][:inner]
+		orow := od[i*p:][:p]
+		for j := 0; j < j4; j += 4 {
+			var s [4]float64
+			simd.DotCols4(arow, bd[j*inner:], inner, &s)
+			copy(orow[j:][:4], s[:])
+		}
+		for j := j4; j < p; j++ {
+			orow[j] = Dot(arow, bd[j*inner:][:inner])
+		}
+	}
+}
+
+func mulTDot4FMA(ad, bd, od []float64, inner, p, lo, hi int) {
+	j4 := p - p%4
+	for i := lo; i < hi; i++ {
+		arow := ad[i*inner:][:inner]
+		orow := od[i*p:][:p]
+		for j := 0; j < j4; j += 4 {
+			var s [4]float64
+			simd.DotCols4FMA(arow, bd[j*inner:], inner, &s)
+			copy(orow[j:][:4], s[:])
+		}
+		for j := j4; j < p; j++ {
+			orow[j] = Dot(arow, bd[j*inner:][:inner])
+		}
+	}
+}
+
+// tmulChunkRowsSIMD is the row-chunk length of the vector Aᵀ·B kernel.
+// Wider than the scalar kernel's: the asm tile loop retires rows ~4×
+// faster, so the output read-modify-write is amortized over more rows.
+const tmulChunkRowsSIMD = 32
+
+// The two tile-kernel bodies are spelled out rather than shared through
+// a function value: an indirect call would hide simd.Tile2x4's
+// go:noescape from the compiler and heap-allocate the tile accumulator
+// on every call, breaking the Into variants' allocation-free guarantee.
+
+func tmulBlockedSIMD(ad, bd, od []float64, k1, k2, lo, hi int) {
+	i2 := k1 - k1%2
+	j4 := k2 - k2%4
+	for l0 := lo; l0 < hi; l0 += tmulChunkRowsSIMD {
+		le := min(l0+tmulChunkRowsSIMD, hi)
+		n := le - l0
+		for i := 0; i < i2; i += 2 {
+			for j := 0; j < j4; j += 4 {
+				o0 := od[i*k2+j:][:4]
+				o1 := od[(i+1)*k2+j:][:4]
+				var acc [8]float64
+				copy(acc[:4], o0)
+				copy(acc[4:], o1)
+				simd.Tile2x4(ad[l0*k1+i:], bd[l0*k2+j:], k1, k2, n, &acc)
+				copy(o0, acc[:4])
+				copy(o1, acc[4:])
+			}
+			tmulScalarColsTail(ad, bd, od, k1, k2, l0, le, i, j4)
+		}
+		tmulScalarRowsTail(ad, bd, od, k1, k2, l0, le, i2)
+	}
+}
+
+func tmulBlockedFMA(ad, bd, od []float64, k1, k2, lo, hi int) {
+	i2 := k1 - k1%2
+	j4 := k2 - k2%4
+	for l0 := lo; l0 < hi; l0 += tmulChunkRowsSIMD {
+		le := min(l0+tmulChunkRowsSIMD, hi)
+		n := le - l0
+		for i := 0; i < i2; i += 2 {
+			for j := 0; j < j4; j += 4 {
+				o0 := od[i*k2+j:][:4]
+				o1 := od[(i+1)*k2+j:][:4]
+				var acc [8]float64
+				copy(acc[:4], o0)
+				copy(acc[4:], o1)
+				simd.Tile2x4FMA(ad[l0*k1+i:], bd[l0*k2+j:], k1, k2, n, &acc)
+				copy(o0, acc[:4])
+				copy(o1, acc[4:])
+			}
+			tmulScalarColsTail(ad, bd, od, k1, k2, l0, le, i, j4)
+		}
+		tmulScalarRowsTail(ad, bd, od, k1, k2, l0, le, i2)
+	}
+}
+
+// tmulScalarColsTail finishes the k2%4 trailing columns of a 2-row band
+// over rows [l0,le), exactly like the scalar tmulBlocked remainder.
+func tmulScalarColsTail(ad, bd, od []float64, k1, k2, l0, le, i, j4 int) {
+	for j := j4; j < k2; j++ {
+		s0, s1 := od[i*k2+j], od[(i+1)*k2+j]
+		for l := l0; l < le; l++ {
+			bv := bd[l*k2+j]
+			s0 += ad[l*k1+i] * bv
+			s1 += ad[l*k1+i+1] * bv
+		}
+		od[i*k2+j] = s0
+		od[(i+1)*k2+j] = s1
+	}
+}
+
+// tmulScalarRowsTail finishes the k1%2 trailing output row over rows
+// [l0,le), exactly like the scalar tmulBlocked remainder.
+func tmulScalarRowsTail(ad, bd, od []float64, k1, k2, l0, le, i2 int) {
+	for i := i2; i < k1; i++ {
+		for j := 0; j < k2; j++ {
+			s := od[i*k2+j]
+			for l := l0; l < le; l++ {
+				s += ad[l*k1+i] * bd[l*k2+j]
+			}
+			od[i*k2+j] = s
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gebe/internal/cpu"
 	"gebe/internal/obs"
 )
 
@@ -55,6 +56,11 @@ type Tuning struct {
 	// count (rows·inner·cols for a product, ~n²(m−n/3) for QR);
 	// 0 selects DefaultMinParallelFlops.
 	MinParallelFlops int
+	// Kernels picks the kernel flavor (Go scalar, SIMD, or fused SIMD).
+	// The zero value KernelAuto follows GEBE_SIMD and hardware support;
+	// explicit requests are clamped to what the CPU can run. Ignored by
+	// StrategyLegacy, which always runs the scalar generic kernels.
+	Kernels cpu.KernelMode
 }
 
 // Validate rejects tunings no engine path can honor.
@@ -64,6 +70,9 @@ func (t Tuning) Validate() error {
 	}
 	if t.MinParallelFlops < 0 {
 		return fmt.Errorf("dense: Tuning.MinParallelFlops must be non-negative, got %d", t.MinParallelFlops)
+	}
+	if !t.Kernels.Valid() {
+		return fmt.Errorf("dense: unknown Tuning.Kernels %d", int(t.Kernels))
 	}
 	switch t.Strategy {
 	case StrategyAuto, StrategyLegacy:

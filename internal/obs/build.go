@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+
+	"gebe/internal/cpu"
 )
 
 // Build is the binary's provenance: enough to attribute a trace, a
@@ -26,6 +28,12 @@ type Build struct {
 	// (v1..v4) — it decides which register-blocked kernels are eligible,
 	// so two snapshots at different levels are not comparable.
 	GOAMD64 string `json:"goamd64,omitempty"`
+	// CPUFeatures is the runtime-detected vector capability summary
+	// ("avx2,fma", "neon", or "none" — always "none" under -tags purego).
+	CPUFeatures string `json:"cpu_features"`
+	// Kernels is the kernel flavor the engines resolve by default
+	// ("go", "simd", or "fma"), after GEBE_SIMD and hardware clamping.
+	Kernels string `json:"kernels"`
 }
 
 var (
@@ -38,10 +46,12 @@ var (
 func BuildInfo() Build {
 	buildOnce.Do(func() {
 		buildInfo = Build{
-			GoVersion: runtime.Version(),
-			Revision:  "unknown",
-			GOOS:      runtime.GOOS,
-			GOARCH:    runtime.GOARCH,
+			GoVersion:   runtime.Version(),
+			Revision:    "unknown",
+			GOOS:        runtime.GOOS,
+			GOARCH:      runtime.GOARCH,
+			CPUFeatures: cpu.Supported().Summary(),
+			Kernels:     cpu.Resolve(cpu.KernelAuto).String(),
 		}
 		bi, ok := debug.ReadBuildInfo()
 		if !ok {

@@ -34,6 +34,9 @@ type benchCell struct {
 	Threads       int     `json:"threads"`
 	LegacySeconds float64 `json:"legacy_seconds"`
 	TunedSeconds  float64 `json:"tuned_seconds"`
+	// SIMDSpeedup is go_seconds/simd_seconds for the cell, zero when the
+	// producing machine had no vector kernels.
+	SIMDSpeedup float64 `json:"simd_speedup"`
 }
 
 // key identifies a cell across runs of the same grid.
@@ -78,7 +81,56 @@ func CompareBenchCells(experiment string, oldC, newC []benchCell, opt Options) R
 		o := oldBy[c.key()]
 		r.check(opt, experiment+"/"+c.key(), scale*o.TunedSeconds, c.TunedSeconds)
 	}
+	r.checkSIMDFloor(opt, experiment, newC)
 	return r
+}
+
+// checkSIMDFloor gates the vector kernels' measured value: within each
+// headline width class (k=16 and the panel widths k≥24, k%8=0), the
+// best SIMD-over-Go speedup in the fresh grid must clear SIMDFloor.
+// The best — not the min — because small-k cells at high thread counts
+// are memory-bound and the flavors converge; the class is regressed
+// only when no cell in it benefits anymore. Cells without SIMD data
+// (purego or pre-SIMD baselines) leave a class empty, and empty classes
+// are skipped, so the gate self-disarms on machines with no vector
+// kernels. The floor needs no machine normalization: both sides of the
+// ratio ran on the same machine in the same process.
+func (r *Report) checkSIMDFloor(opt Options, experiment string, cells []benchCell) {
+	if opt.SIMDFloor <= 0 {
+		return
+	}
+	best := map[string]float64{}
+	for _, c := range cells {
+		if c.SIMDSpeedup <= 0 {
+			continue
+		}
+		var class string
+		switch {
+		case c.K == 16:
+			class = "k16"
+		case c.K >= 24 && c.K%8 == 0:
+			class = "panel8"
+		default:
+			continue
+		}
+		if c.SIMDSpeedup > best[class] {
+			best[class] = c.SIMDSpeedup
+		}
+	}
+	for _, class := range []string{"k16", "panel8"} {
+		b, ok := best[class]
+		if !ok {
+			continue
+		}
+		r.Checked++
+		if b < opt.SIMDFloor {
+			r.Findings = append(r.Findings, Finding{
+				Metric: experiment + "/simd_speedup_" + class + "_best",
+				Old:    opt.SIMDFloor, New: b,
+				Note: fmt.Sprintf("SIMD speedup below the %.2fx floor", opt.SIMDFloor),
+			})
+		}
+	}
 }
 
 // CompareANN gates a fresh retrieval report against a baseline. Three

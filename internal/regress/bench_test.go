@@ -59,6 +59,46 @@ func TestBenchGateCatchesRealRegression(t *testing.T) {
 	}
 }
 
+// TestBenchGateSIMDFloor: the floor fails a grid whose vector kernels
+// stopped beating the Go kernels, skips width classes with no SIMD
+// data, and stays off at SIMDFloor zero.
+func TestBenchGateSIMDFloor(t *testing.T) {
+	old := benchGrid(1, 1)
+	simdGrid := func(k16, panel8 float64) []benchCell {
+		cells := benchGrid(1, 1)
+		cells = append(cells,
+			benchCell{Op: "mul", N: 2000, K: 16, LegacySeconds: 0.02, TunedSeconds: 0.008, SIMDSpeedup: k16},
+			benchCell{Op: "mul", N: 2000, K: 32, LegacySeconds: 0.04, TunedSeconds: 0.015, SIMDSpeedup: panel8},
+		)
+		return cells
+	}
+	opt := Options{Ratio: 0.5, MinDelta: 0.002, SIMDFloor: 1.3}
+
+	if r := CompareBenchCells("DENSE", old, simdGrid(2.5, 1.8), opt); !r.OK() {
+		t.Fatalf("healthy SIMD grid failed: %s", r.Summary())
+	}
+	r := CompareBenchCells("DENSE", old, simdGrid(1.1, 1.8), opt)
+	if r.OK() {
+		t.Fatal("k16 speedup below the floor passed the gate")
+	}
+	if got := r.Findings[0].Metric; got != "DENSE/simd_speedup_k16_best" {
+		t.Fatalf("finding on %q, want DENSE/simd_speedup_k16_best", got)
+	}
+	if r := CompareBenchCells("DENSE", old, simdGrid(1.1, 1.1), opt); len(r.Findings) != 2 {
+		t.Fatalf("both classes under the floor: %d findings, want 2", len(r.Findings))
+	}
+
+	// A purego grid (no speedups recorded) has nothing to gate.
+	if r := CompareBenchCells("DENSE", old, benchGrid(1, 1), opt); !r.OK() || r.Checked != 3 {
+		t.Fatalf("SIMD-less grid tripped the floor: %s", r.Summary())
+	}
+	// Floor zero disables the check even with SIMD data present.
+	noFloor := Options{Ratio: 0.5, MinDelta: 0.002}
+	if r := CompareBenchCells("DENSE", old, simdGrid(1.1, 1.1), noFloor); !r.OK() {
+		t.Fatalf("disabled floor still failed: %s", r.Summary())
+	}
+}
+
 func annSum(bitwise, recall, latRatio, candFrac float64) map[string]float64 {
 	return map[string]float64{
 		"bitwise_fullprobe_match":       bitwise,

@@ -41,6 +41,12 @@ type Options struct {
 	// RecallFloor is the minimum recall@10 at the default probe the ann
 	// gate accepts regardless of the baseline. Zero selects 0.95.
 	RecallFloor float64
+	// SIMDFloor is the minimum best-in-class SIMD-over-Go speedup a
+	// fresh kernel grid must show for the k16 and panel8 width classes
+	// (bench mode only). Zero disables the floor — unlike the fields
+	// above it has no non-zero default, because grids produced without
+	// vector kernels carry no speedups to gate.
+	SIMDFloor float64
 }
 
 func (o Options) withDefaults() Options {

@@ -1,0 +1,162 @@
+package simd
+
+import "math"
+
+// Reference implementations of every primitive, written exactly like the
+// scalar engine kernels so the compiler applies the same multiply-add
+// treatment per architecture (separate MULSD+ADDSD on amd64, fused
+// FMADDD on arm64). They are the bodies of the purego build and the
+// oracles the assembly is tested against.
+
+func refGatherSaxpy8(val []float64, idx []int, b []float64, stride int, acc *[8]float64) {
+	for p, v := range val {
+		row := b[idx[p]*stride:]
+		for j := 0; j < 8; j++ {
+			acc[j] += v * row[j]
+		}
+	}
+}
+
+func refGatherSaxpy16(val []float64, idx []int, b []float64, stride int, acc *[16]float64) {
+	for p, v := range val {
+		row := b[idx[p]*stride:]
+		for j := 0; j < 16; j++ {
+			acc[j] += v * row[j]
+		}
+	}
+}
+
+func refScatterSaxpy8(val []float64, idx []int, brow *[8]float64, out []float64, stride int) {
+	for p, v := range val {
+		row := out[idx[p]*stride:]
+		for j := 0; j < 8; j++ {
+			row[j] += v * brow[j]
+		}
+	}
+}
+
+func refScatterSaxpy16(val []float64, idx []int, brow *[16]float64, out []float64, stride int) {
+	for p, v := range val {
+		row := out[idx[p]*stride:]
+		for j := 0; j < 16; j++ {
+			row[j] += v * brow[j]
+		}
+	}
+}
+
+func refSaxpyRows8(a []float64, b []float64, stride int, acc *[8]float64) {
+	for l, av := range a {
+		row := b[l*stride:]
+		for j := 0; j < 8; j++ {
+			acc[j] += av * row[j]
+		}
+	}
+}
+
+func refSaxpyRows16(a []float64, b []float64, stride int, acc *[16]float64) {
+	for l, av := range a {
+		row := b[l*stride:]
+		for j := 0; j < 16; j++ {
+			acc[j] += av * row[j]
+		}
+	}
+}
+
+func refDotCols4(a []float64, b []float64, stride int, out *[4]float64) {
+	var s [4]float64
+	for l, av := range a {
+		for j := 0; j < 4; j++ {
+			s[j] += av * b[j*stride+l]
+		}
+	}
+	*out = s
+}
+
+func refTile2x4(a, b []float64, k1, k2, n int, acc *[8]float64) {
+	for l := 0; l < n; l++ {
+		a0, a1 := a[l*k1], a[l*k1+1]
+		row := b[l*k2:]
+		for c := 0; c < 4; c++ {
+			acc[c] += a0 * row[c]
+			acc[4+c] += a1 * row[c]
+		}
+	}
+}
+
+// Fused references: the same loops with each multiply-add contracted via
+// math.FMA. On arm64 these match the base references bit for bit.
+
+func refGatherSaxpy8FMA(val []float64, idx []int, b []float64, stride int, acc *[8]float64) {
+	for p, v := range val {
+		row := b[idx[p]*stride:]
+		for j := 0; j < 8; j++ {
+			acc[j] = math.FMA(v, row[j], acc[j])
+		}
+	}
+}
+
+func refGatherSaxpy16FMA(val []float64, idx []int, b []float64, stride int, acc *[16]float64) {
+	for p, v := range val {
+		row := b[idx[p]*stride:]
+		for j := 0; j < 16; j++ {
+			acc[j] = math.FMA(v, row[j], acc[j])
+		}
+	}
+}
+
+func refScatterSaxpy8FMA(val []float64, idx []int, brow *[8]float64, out []float64, stride int) {
+	for p, v := range val {
+		row := out[idx[p]*stride:]
+		for j := 0; j < 8; j++ {
+			row[j] = math.FMA(v, brow[j], row[j])
+		}
+	}
+}
+
+func refScatterSaxpy16FMA(val []float64, idx []int, brow *[16]float64, out []float64, stride int) {
+	for p, v := range val {
+		row := out[idx[p]*stride:]
+		for j := 0; j < 16; j++ {
+			row[j] = math.FMA(v, brow[j], row[j])
+		}
+	}
+}
+
+func refSaxpyRows8FMA(a []float64, b []float64, stride int, acc *[8]float64) {
+	for l, av := range a {
+		row := b[l*stride:]
+		for j := 0; j < 8; j++ {
+			acc[j] = math.FMA(av, row[j], acc[j])
+		}
+	}
+}
+
+func refSaxpyRows16FMA(a []float64, b []float64, stride int, acc *[16]float64) {
+	for l, av := range a {
+		row := b[l*stride:]
+		for j := 0; j < 16; j++ {
+			acc[j] = math.FMA(av, row[j], acc[j])
+		}
+	}
+}
+
+func refDotCols4FMA(a []float64, b []float64, stride int, out *[4]float64) {
+	var s [4]float64
+	for l, av := range a {
+		for j := 0; j < 4; j++ {
+			s[j] = math.FMA(av, b[j*stride+l], s[j])
+		}
+	}
+	*out = s
+}
+
+func refTile2x4FMA(a, b []float64, k1, k2, n int, acc *[8]float64) {
+	for l := 0; l < n; l++ {
+		a0, a1 := a[l*k1], a[l*k1+1]
+		row := b[l*k2:]
+		for c := 0; c < 4; c++ {
+			acc[c] = math.FMA(a0, row[c], acc[c])
+			acc[4+c] = math.FMA(a1, row[c], acc[4+c])
+		}
+	}
+}

@@ -1,0 +1,90 @@
+//go:build amd64 && !purego
+
+package simd
+
+import "gebe/internal/cpu"
+
+// HasSIMD reports whether the non-fused AVX2 primitives are usable.
+func HasSIMD() bool { return cpu.Supported().AVX2 }
+
+// HasFMA reports whether the fused primitives are usable.
+func HasFMA() bool { return cpu.Supported().HasFMA() }
+
+// SIMDName is the instruction-set suffix kernel names carry ("k16+avx2").
+func SIMDName() string { return "avx2" }
+
+// FMAName is the suffix of the fused flavor ("k16+fma").
+func FMAName() string { return "fma" }
+
+// GatherSaxpy8 computes acc[j] += val[p]·b[idx[p]·stride+j] for j<8,
+// p ascending — one 8-wide sparse row accumulation.
+//
+//go:noescape
+func GatherSaxpy8(val []float64, idx []int, b []float64, stride int, acc *[8]float64)
+
+// GatherSaxpy16 is the 16-wide form of GatherSaxpy8.
+//
+//go:noescape
+func GatherSaxpy16(val []float64, idx []int, b []float64, stride int, acc *[16]float64)
+
+// ScatterSaxpy8 computes out[idx[p]·stride+j] += val[p]·brow[j] for
+// j<8, p ascending — one 8-wide sparse row scatter.
+//
+//go:noescape
+func ScatterSaxpy8(val []float64, idx []int, brow *[8]float64, out []float64, stride int)
+
+// ScatterSaxpy16 is the 16-wide form of ScatterSaxpy8.
+//
+//go:noescape
+func ScatterSaxpy16(val []float64, idx []int, brow *[16]float64, out []float64, stride int)
+
+// SaxpyRows8 computes acc[j] += a[l]·b[l·stride+j] for j<8, l ascending
+// — one 8-wide dense row accumulation.
+//
+//go:noescape
+func SaxpyRows8(a []float64, b []float64, stride int, acc *[8]float64)
+
+// SaxpyRows16 is the 16-wide form of SaxpyRows8.
+//
+//go:noescape
+func SaxpyRows16(a []float64, b []float64, stride int, acc *[16]float64)
+
+// DotCols4 computes out[j] = Σ_l a[l]·b[j·stride+l] for j<4, each sum
+// accumulated in ascending l — four simultaneous dot products held in
+// one register, one lane per output column.
+//
+//go:noescape
+func DotCols4(a []float64, b []float64, stride int, out *[4]float64)
+
+// Tile2x4 advances a 2×4 register tile over n input rows:
+// acc[r·4+c] += a[l·k1+r]·b[l·k2+c] for r<2, c<4, l<n ascending.
+//
+//go:noescape
+func Tile2x4(a, b []float64, k1, k2, n int, acc *[8]float64)
+
+// The *FMA twins run the same loops with each multiply-add contracted
+// into a single rounding (VFMADD231PD).
+//
+//go:noescape
+func GatherSaxpy8FMA(val []float64, idx []int, b []float64, stride int, acc *[8]float64)
+
+//go:noescape
+func GatherSaxpy16FMA(val []float64, idx []int, b []float64, stride int, acc *[16]float64)
+
+//go:noescape
+func ScatterSaxpy8FMA(val []float64, idx []int, brow *[8]float64, out []float64, stride int)
+
+//go:noescape
+func ScatterSaxpy16FMA(val []float64, idx []int, brow *[16]float64, out []float64, stride int)
+
+//go:noescape
+func SaxpyRows8FMA(a []float64, b []float64, stride int, acc *[8]float64)
+
+//go:noescape
+func SaxpyRows16FMA(a []float64, b []float64, stride int, acc *[16]float64)
+
+//go:noescape
+func DotCols4FMA(a []float64, b []float64, stride int, out *[4]float64)
+
+//go:noescape
+func Tile2x4FMA(a, b []float64, k1, k2, n int, acc *[8]float64)

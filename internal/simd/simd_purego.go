@@ -1,0 +1,85 @@
+//go:build purego || (!amd64 && !arm64)
+
+package simd
+
+// The purego build (and architectures without assembly) gets the
+// reference implementations under the exported names. HasSIMD/HasFMA
+// report false, so nothing ever registers these with the dispatch
+// tables — they exist so engine wrapper code compiles identically on
+// every build.
+
+// HasSIMD reports false: this build carries no vector kernels.
+func HasSIMD() bool { return false }
+
+// HasFMA reports false: this build carries no fused kernels.
+func HasFMA() bool { return false }
+
+// SIMDName is the instruction-set suffix kernel names would carry.
+func SIMDName() string { return "purego" }
+
+// FMAName is the suffix of the fused flavor.
+func FMAName() string { return "purego" }
+
+func GatherSaxpy8(val []float64, idx []int, b []float64, stride int, acc *[8]float64) {
+	refGatherSaxpy8(val, idx, b, stride, acc)
+}
+
+func GatherSaxpy16(val []float64, idx []int, b []float64, stride int, acc *[16]float64) {
+	refGatherSaxpy16(val, idx, b, stride, acc)
+}
+
+func ScatterSaxpy8(val []float64, idx []int, brow *[8]float64, out []float64, stride int) {
+	refScatterSaxpy8(val, idx, brow, out, stride)
+}
+
+func ScatterSaxpy16(val []float64, idx []int, brow *[16]float64, out []float64, stride int) {
+	refScatterSaxpy16(val, idx, brow, out, stride)
+}
+
+func SaxpyRows8(a []float64, b []float64, stride int, acc *[8]float64) {
+	refSaxpyRows8(a, b, stride, acc)
+}
+
+func SaxpyRows16(a []float64, b []float64, stride int, acc *[16]float64) {
+	refSaxpyRows16(a, b, stride, acc)
+}
+
+func DotCols4(a []float64, b []float64, stride int, out *[4]float64) {
+	refDotCols4(a, b, stride, out)
+}
+
+func Tile2x4(a, b []float64, k1, k2, n int, acc *[8]float64) {
+	refTile2x4(a, b, k1, k2, n, acc)
+}
+
+func GatherSaxpy8FMA(val []float64, idx []int, b []float64, stride int, acc *[8]float64) {
+	refGatherSaxpy8FMA(val, idx, b, stride, acc)
+}
+
+func GatherSaxpy16FMA(val []float64, idx []int, b []float64, stride int, acc *[16]float64) {
+	refGatherSaxpy16FMA(val, idx, b, stride, acc)
+}
+
+func ScatterSaxpy8FMA(val []float64, idx []int, brow *[8]float64, out []float64, stride int) {
+	refScatterSaxpy8FMA(val, idx, brow, out, stride)
+}
+
+func ScatterSaxpy16FMA(val []float64, idx []int, brow *[16]float64, out []float64, stride int) {
+	refScatterSaxpy16FMA(val, idx, brow, out, stride)
+}
+
+func SaxpyRows8FMA(a []float64, b []float64, stride int, acc *[8]float64) {
+	refSaxpyRows8FMA(a, b, stride, acc)
+}
+
+func SaxpyRows16FMA(a []float64, b []float64, stride int, acc *[16]float64) {
+	refSaxpyRows16FMA(a, b, stride, acc)
+}
+
+func DotCols4FMA(a []float64, b []float64, stride int, out *[4]float64) {
+	refDotCols4FMA(a, b, stride, out)
+}
+
+func Tile2x4FMA(a, b []float64, k1, k2, n int, acc *[8]float64) {
+	refTile2x4FMA(a, b, k1, k2, n, acc)
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"gebe/internal/cpu"
 	"gebe/internal/dense"
 	"gebe/internal/par"
 )
@@ -64,6 +65,11 @@ type Tuning struct {
 	// count: a short-and-wide matrix with millions of nonzeros (a Wᵀ
 	// block) parallelizes fine even with few rows.
 	MinParallelNNZ int
+	// Kernels picks the kernel flavor (Go scalar, SIMD, or fused SIMD).
+	// The zero value KernelAuto follows GEBE_SIMD and hardware support;
+	// explicit requests are clamped to what the CPU can run. Ignored by
+	// StrategyLegacy, which always runs the scalar generic kernels.
+	Kernels cpu.KernelMode
 }
 
 // Validate rejects tunings no engine path can honor.
@@ -73,6 +79,9 @@ func (t Tuning) Validate() error {
 	}
 	if t.MinParallelNNZ < 0 {
 		return fmt.Errorf("sparse: Tuning.MinParallelNNZ must be non-negative, got %d", t.MinParallelNNZ)
+	}
+	if !t.Kernels.Valid() {
+		return fmt.Errorf("sparse: unknown Tuning.Kernels %d", int(t.Kernels))
 	}
 	switch t.Strategy {
 	case StrategyAuto, StrategyScatter, StrategyLegacy:
@@ -153,7 +162,7 @@ func (m *CSR) MulDenseOpts(b *dense.Matrix, t Tuning) *dense.Matrix {
 func (m *CSR) mulRowParallel(b *dense.Matrix, t Tuning) (*dense.Matrix, string) {
 	out := dense.New(m.Rows, b.Cols)
 	k := b.Cols
-	kern, kname := dispatchMul(k)
+	kern, kname := dispatchMul(k, t.Kernels)
 	nw := t.workers(m.NNZ(), m.Rows)
 	if nw <= 1 {
 		kern(m, b.Data, out.Data, k, 0, m.Rows)
@@ -183,8 +192,8 @@ func (m *CSR) TMulDenseOpts(b *dense.Matrix, t Tuning) *dense.Matrix {
 		km.record(opTMul, t0, m.NNZ(), b.Cols, "legacy", "generic")
 		return out
 	case StrategyScatter:
-		out := m.scatterTMulDense(b, t)
-		km.record(opTMul, t0, m.NNZ(), b.Cols, "scatter", "scatter")
+		out, kname := m.scatterTMulDense(b, t)
+		km.record(opTMul, t0, m.NNZ(), b.Cols, "scatter", kname)
 		return out
 	default:
 		out, kname := m.Transpose().mulRowParallel(b, t)
@@ -195,25 +204,26 @@ func (m *CSR) TMulDenseOpts(b *dense.Matrix, t Tuning) *dense.Matrix {
 
 // scatterTMulDense is the transpose-free plan: nnz-balanced partitions of
 // m's rows scatter into private accumulators reduced at the end.
-func (m *CSR) scatterTMulDense(b *dense.Matrix, t Tuning) *dense.Matrix {
+func (m *CSR) scatterTMulDense(b *dense.Matrix, t Tuning) (*dense.Matrix, string) {
 	k := b.Cols
+	kern, kname := dispatchTMul(k, t.Kernels)
 	nw := t.workers(m.NNZ(), m.Rows)
 	if nw <= 1 {
 		out := dense.New(m.Cols, k)
-		m.tMulRange(b.Data, out.Data, k, 0, m.Rows)
-		return out
+		kern(m, b.Data, out.Data, k, 0, m.Rows)
+		return out, kname
 	}
 	bounds := nnzPartition(m.RowPtr, nw)
 	partials := make([]*dense.Matrix, nw)
 	par.Parts(nw, func(w int) {
 		partials[w] = dense.New(m.Cols, k)
-		m.tMulRange(b.Data, partials[w].Data, k, bounds[w], bounds[w+1])
+		kern(m, b.Data, partials[w].Data, k, bounds[w], bounds[w+1])
 	})
 	out := partials[0]
 	for w := 1; w < nw; w++ {
 		out.AddScaled(1, partials[w])
 	}
-	return out
+	return out, kname
 }
 
 // MulVecOpts computes m · x under the given tuning.

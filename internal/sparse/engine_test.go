@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"gebe/internal/cpu"
 	"gebe/internal/dense"
 	"gebe/internal/obs"
 )
@@ -74,9 +75,9 @@ func TestEngineEquivalenceAdversarial(t *testing.T) {
 	shapes := []struct {
 		rows, cols, nnz int
 	}{
-		{1, 9, 5},    // single row
-		{9, 1, 5},    // single column
-		{40, 17, 0},  // empty matrix
+		{1, 9, 5},   // single row
+		{9, 1, 5},   // single column
+		{40, 17, 0}, // empty matrix
 		{60, 30, 400},
 		{31, 200, 900}, // short and wide
 	}
@@ -309,11 +310,15 @@ func TestStrategyAndKernelCounters(t *testing.T) {
 	defer EnableMetrics(nil)
 	reg := obs.NewRegistry()
 	EnableMetrics(reg)
-	m.MulDenseOpts(dense.Random(30, 8, rng(42)), Tuning{})                           // rowpar + k8
-	m.TMulDenseOpts(dense.Random(50, 16, rng(43)), Tuning{})                         // gather + k16
-	m.TMulDenseOpts(dense.Random(50, 3, rng(44)), Tuning{Strategy: StrategyScatter}) // scatter
-	m.MulDenseOpts(dense.Random(30, 24, rng(45)), Tuning{Strategy: StrategyLegacy})  // legacy
-	m.MulDenseOpts(dense.Random(30, 24, rng(46)), Tuning{})                          // rowpar + panel8
+	// Kernel flavor pinned to the scalar Go kernels so the expected
+	// counter names hold on every CPU; flavor naming is covered by
+	// TestSIMDKernelNames.
+	goK := Tuning{Kernels: cpu.KernelGo}
+	m.MulDenseOpts(dense.Random(30, 8, rng(42)), goK)                                                       // rowpar + k8
+	m.TMulDenseOpts(dense.Random(50, 16, rng(43)), goK)                                                     // gather + k16
+	m.TMulDenseOpts(dense.Random(50, 3, rng(44)), Tuning{Strategy: StrategyScatter, Kernels: cpu.KernelGo}) // scatter
+	m.MulDenseOpts(dense.Random(30, 24, rng(45)), Tuning{Strategy: StrategyLegacy})                         // legacy
+	m.MulDenseOpts(dense.Random(30, 24, rng(46)), goK)                                                      // rowpar + panel8
 	checks := map[string]float64{
 		"sparse_spmm_strategy_rowpar_total":  2,
 		"sparse_spmm_strategy_gather_total":  1,

@@ -1,5 +1,7 @@
 package sparse
 
+import "gebe/internal/cpu"
+
 // The inner SpMM kernels. All of them compute out[i,:] += Σ_p Val[p] ·
 // b[ColIdx[p],:] for rows i in [lo,hi) over row-major b and out with row
 // stride k, and all perform exactly (RowPtr[hi]-RowPtr[lo])·k multiply-
@@ -19,20 +21,35 @@ package sparse
 // rows must be zero on entry.
 type mulKernel func(m *CSR, bd, od []float64, k, lo, hi int)
 
-// dispatchMul picks the widest kernel that tiles a k-column block.
-func dispatchMul(k int) (mulKernel, string) {
-	switch {
-	case k == 4:
-		return mulK4, "k4"
-	case k == 8:
-		return mulK8, "k8"
-	case k == 16:
-		return mulK16, "k16"
-	case k > 16 && k%8 == 0:
-		return mulPanel8, "panel8"
-	default:
-		return mulGeneric, "generic"
-	}
+// tmulKernel scatters rows [lo,hi) of mᵀ·b into out (m.Cols × k). Racy
+// under row-sharding unless each worker owns a private out.
+type tmulKernel func(m *CSR, bd, od []float64, k, lo, hi int)
+
+// The dispatch tables. Scalar Go kernels are installed here; the vector
+// flavors register from kernels_simd.go when the CPU supports them, and
+// Pick applies the shared width classification plus fma → simd → go
+// fallback from internal/cpu.
+var (
+	mulKernels  = cpu.NewTable[mulKernel](mulGeneric, "generic")
+	tmulKernels = cpu.NewTable[tmulKernel](tMulGeneric, "scatter")
+)
+
+func init() {
+	mulKernels.SetGo(cpu.WidthK4, mulK4, "k4")
+	mulKernels.SetGo(cpu.WidthK8, mulK8, "k8")
+	mulKernels.SetGo(cpu.WidthK16, mulK16, "k16")
+	mulKernels.SetGo(cpu.WidthPanel8, mulPanel8, "panel8")
+}
+
+// dispatchMul picks the widest kernel that tiles a k-column block under
+// the requested flavor.
+func dispatchMul(k int, mode cpu.KernelMode) (mulKernel, string) {
+	return mulKernels.Pick(k, mode)
+}
+
+// dispatchTMul picks the scatter kernel for a k-column block.
+func dispatchTMul(k int, mode cpu.KernelMode) (tmulKernel, string) {
+	return tmulKernels.Pick(k, mode)
 }
 
 func mulGeneric(m *CSR, bd, od []float64, k, lo, hi int) {
@@ -156,6 +173,11 @@ func mulVecRange(m *CSR, x, out []float64, lo, hi int) {
 		}
 		out[i] = s
 	}
+}
+
+// tMulGeneric adapts tMulRange to the tmulKernel shape for the table.
+func tMulGeneric(m *CSR, bd, od []float64, k, lo, hi int) {
+	m.tMulRange(bd, od, k, lo, hi)
 }
 
 // tMulRange is the scatter kernel for mᵀ·b: rows [lo,hi) of m are
