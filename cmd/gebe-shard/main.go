@@ -1,0 +1,68 @@
+// Command gebe-shard partitions a trained embedding into N item-shard
+// files for the scatter/gather serving topology (cmd/gebe-coord): each
+// output carries the full user matrix plus one contiguous slice of item
+// rows, stamped with a "#meta shard" line so a gebe-serve process loads
+// it knowing exactly which global rows it holds.
+//
+// Usage:
+//
+//	gebe-shard -emb emb.tsv -shards 4 -out emb-shard
+//
+// writes emb-shard.0.tsv … emb-shard.3.tsv. The split is deterministic
+// (row ranges from shard.NewPartition), so re-sharding the same file
+// always produces byte-identical outputs. Every shard serves from the
+// SAME training file as the unsharded server would — exclusion masking
+// is sliced at load time, not here.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gebe"
+	"gebe/internal/shard"
+)
+
+func main() {
+	var (
+		embP  = flag.String("emb", "", "embedding file from cmd/gebe (required)")
+		count = flag.Int("shards", 2, "number of item shards to produce")
+		outP  = flag.String("out", "", "output prefix; writes <out>.<i>.tsv (required)")
+		quiet = flag.Bool("q", false, "suppress the per-shard summary lines")
+	)
+	flag.Parse()
+	if *embP == "" || *outP == "" {
+		fmt.Fprintln(os.Stderr, "gebe-shard: -emb and -out are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	emb, err := gebe.LoadEmbedding(*embP)
+	if err != nil {
+		fail(err)
+	}
+	if emb.Sharded() {
+		fail(fmt.Errorf("%s is already a shard (%d/%d); shard the original embedding", *embP, emb.ShardIndex, emb.ShardCount))
+	}
+	p, err := shard.NewPartition(emb.V.Rows, *count)
+	if err != nil {
+		fail(err)
+	}
+	for i := 0; i < *count; i++ {
+		slice := shard.Slice(emb, p, i)
+		path := fmt.Sprintf("%s.%d.tsv", *outP, i)
+		if err := gebe.SaveEmbedding(path, slice); err != nil {
+			fail(err)
+		}
+		if !*quiet {
+			lo, hi := p.Range(i)
+			fmt.Fprintf(os.Stderr, "gebe-shard: %s holds items [%d,%d) of %d (%d users x %d items x k=%d)\n",
+				path, lo, hi, emb.V.Rows, slice.U.Rows, slice.V.Rows, slice.K())
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "gebe-shard:", err)
+	os.Exit(1)
+}

@@ -82,6 +82,12 @@ func writeMeta(bw *bufio.Writer, e *Embedding) error {
 			return err
 		}
 	}
+	if e.Sharded() {
+		if _, err := fmt.Fprintf(bw, "#meta shard %d %d %d %d\n",
+			e.ShardIndex, e.ShardCount, e.ShardOffset, e.ShardTotal); err != nil {
+			return err
+		}
+	}
 	if len(e.Values) > 0 {
 		if _, err := fmt.Fprintf(bw, "#meta values"); err != nil {
 			return err
@@ -141,6 +147,25 @@ func parseMeta(e *core.Embedding, fields []string, line int) error {
 		e.WarmStarted = b
 	case "stop_reason":
 		e.StopReason = vals[0]
+	case "shard":
+		// "#meta shard <index> <count> <offset> <total>": the item-side
+		// shard identity cmd/gebe-shard stamps into split embeddings.
+		if len(vals) != 4 {
+			return fmt.Errorf("gebe: line %d: #meta shard needs 4 values, got %d", line, len(vals))
+		}
+		ns := make([]int, 4)
+		for i, v := range vals {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return bad(v)
+			}
+			ns[i] = n
+		}
+		idx, count, offset, total := ns[0], ns[1], ns[2], ns[3]
+		if count == 0 || idx >= count || offset > total {
+			return fmt.Errorf("gebe: line %d: inconsistent #meta shard %d %d %d %d", line, idx, count, offset, total)
+		}
+		e.ShardIndex, e.ShardCount, e.ShardOffset, e.ShardTotal = idx, count, offset, total
 	case "values":
 		e.Values = make([]float64, len(vals))
 		for i, v := range vals {
@@ -258,6 +283,12 @@ func ReadEmbedding(r io.Reader) (*Embedding, error) {
 	}
 	if got := seen["v"].count; got != nv {
 		return nil, fmt.Errorf("gebe: truncated embedding: %d of %d v rows", got, nv)
+	}
+	// A shard's slice must fit inside the full item side it claims to be
+	// cut from; a violation means the file was truncated or hand-edited.
+	if e.Sharded() && e.ShardOffset+nv > e.ShardTotal {
+		return nil, fmt.Errorf("gebe: shard %d/%d covers rows [%d,%d) of only %d items",
+			e.ShardIndex, e.ShardCount, e.ShardOffset, e.ShardOffset+nv, e.ShardTotal)
 	}
 	return e, nil
 }

@@ -80,6 +80,21 @@ func TestReadEmbeddingHardening(t *testing.T) {
 			in:      "#gebe m 1 1 2\n#meta values 1 +Inf\nu 0 1 2\nv 0 1 2\n",
 			wantErr: "bad #meta values",
 		},
+		{
+			name:    "shard meta arity",
+			in:      "#gebe m 1 1 2\n#meta shard 0 2 0\nu 0 1 2\nv 0 1 2\n",
+			wantErr: "#meta shard needs 4 values",
+		},
+		{
+			name:    "shard index outside count",
+			in:      "#gebe m 1 1 2\n#meta shard 2 2 0 4\nu 0 1 2\nv 0 1 2\n",
+			wantErr: "inconsistent #meta shard",
+		},
+		{
+			name:    "shard slice outside total",
+			in:      "#gebe m 1 2 2\n#meta shard 1 2 3 4\nu 0 1 2\nv 0 1 2\nv 1 3 4\n",
+			wantErr: "covers rows [3,5) of only 4 items",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -102,5 +117,33 @@ func TestReadEmbeddingHardening(t *testing.T) {
 	}
 	if e.U.At(1, 0) != 3 || e.V.At(0, 1) != 6 {
 		t.Errorf("rows landed wrong: U=%v V=%v", e.U, e.V)
+	}
+}
+
+// TestShardMetaRoundTrip: a shard identity stamped by the splitter must
+// survive write → read, and an unsharded embedding must not grow one.
+func TestShardMetaRoundTrip(t *testing.T) {
+	in := "#gebe m 2 3 2\nu 0 1 2\nu 1 3 4\nv 0 5 6\nv 1 7 8\nv 2 9 10\n"
+	e, err := ReadEmbedding(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Sharded() {
+		t.Fatalf("unsharded embedding parsed as shard: %+v", e)
+	}
+	e.ShardIndex, e.ShardCount, e.ShardOffset, e.ShardTotal = 1, 3, 4, 9
+	var sb strings.Builder
+	if err := WriteEmbedding(&sb, e); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "#meta shard 1 3 4 9\n") {
+		t.Fatalf("shard meta line missing:\n%s", sb.String())
+	}
+	back, err := ReadEmbedding(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ShardIndex != 1 || back.ShardCount != 3 || back.ShardOffset != 4 || back.ShardTotal != 9 {
+		t.Fatalf("shard meta did not round-trip: %+v", back)
 	}
 }

@@ -26,3 +26,30 @@ func Check(deadline time.Time) error {
 	}
 	return nil
 }
+
+// Remaining returns the time left until the deadline, never negative;
+// a zero deadline (no budget) reports zero — callers distinguish "no
+// budget" by checking deadline.IsZero() first.
+func Remaining(deadline time.Time) time.Duration {
+	if deadline.IsZero() {
+		return 0
+	}
+	if d := time.Until(deadline); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// Earliest returns the tighter of two deadlines, treating the zero time
+// as "no deadline" — the composition rule for layered budgets (a server
+// config deadline vs. a caller-propagated one): any real deadline beats
+// none, and two real deadlines resolve to the earlier.
+func Earliest(a, b time.Time) time.Time {
+	if a.IsZero() {
+		return b
+	}
+	if b.IsZero() || a.Before(b) {
+		return a
+	}
+	return b
+}

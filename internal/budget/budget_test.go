@@ -1,7 +1,10 @@
 package budget
 
 import (
+	"context"
 	"errors"
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 )
@@ -32,5 +35,105 @@ func TestFutureDeadlineDoesNotFire(t *testing.T) {
 	}
 	if err := Check(future); err != nil {
 		t.Errorf("Check(future) = %v", err)
+	}
+}
+
+func TestRemaining(t *testing.T) {
+	if got := Remaining(time.Time{}); got != 0 {
+		t.Errorf("Remaining(zero) = %v, want 0", got)
+	}
+	if got := Remaining(time.Now().Add(-time.Second)); got != 0 {
+		t.Errorf("Remaining(past) = %v, want 0 (never negative)", got)
+	}
+	got := Remaining(time.Now().Add(time.Hour))
+	if got <= 59*time.Minute || got > time.Hour {
+		t.Errorf("Remaining(1h) = %v", got)
+	}
+}
+
+func TestEarliest(t *testing.T) {
+	a := time.Now().Add(time.Minute)
+	b := time.Now().Add(time.Hour)
+	zero := time.Time{}
+	for _, tc := range []struct {
+		name    string
+		x, y, w time.Time
+	}{
+		{"both zero", zero, zero, zero},
+		{"left zero", zero, b, b},
+		{"right zero", a, zero, a},
+		{"left earlier", a, b, a},
+		{"right earlier", b, a, a},
+		{"equal", a, a, a},
+	} {
+		if got := Earliest(tc.x, tc.y); !got.Equal(tc.w) {
+			t.Errorf("%s: Earliest = %v, want %v", tc.name, got, tc.w)
+		}
+	}
+}
+
+// TestConcurrentFanOut models the coordinator's scatter: one request
+// deadline propagated to K parallel shard calls as a remaining-ms
+// budget. Every call must reconstruct (approximately) the same absolute
+// deadline, the composition with a per-call budget must pick the
+// earliest, and a blown budget must classify as ErrExceeded — cleanly
+// distinguishable from a transport error.
+func TestConcurrentFanOut(t *testing.T) {
+	deadline := time.Now().Add(200 * time.Millisecond)
+	const K = 8
+	var wg sync.WaitGroup
+	errs := make([]error, K)
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Each "shard call" re-derives its deadline from the remaining
+			// budget, the way X-Gebe-Deadline-Ms reconstructs it across the
+			// process boundary.
+			rem := Remaining(deadline)
+			if rem <= 0 || rem > 200*time.Millisecond {
+				errs[i] = fmt.Errorf("remaining = %v outside (0, 200ms]", rem)
+				return
+			}
+			local := time.Now().Add(rem)
+			// A tighter per-call budget wins; a looser one loses.
+			if got := Earliest(local, time.Now().Add(time.Hour)); !got.Equal(local) {
+				errs[i] = fmt.Errorf("loose per-call budget displaced the request deadline")
+				return
+			}
+			tight := time.Now().Add(time.Millisecond)
+			if got := Earliest(local, tight); !got.Equal(tight) {
+				errs[i] = fmt.Errorf("tight per-call budget did not win")
+				return
+			}
+			if err := Check(local); err != nil {
+				errs[i] = fmt.Errorf("fresh deadline already blown: %w", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("call %d: %v", i, err)
+		}
+	}
+
+	// After expiry every concurrent checker sees ErrExceeded — and only
+	// ErrExceeded: a transport failure (modeled by context.Canceled) must
+	// not be mistaken for a blown budget by errors.Is classification.
+	past := time.Now().Add(-time.Millisecond)
+	var wg2 sync.WaitGroup
+	for i := 0; i < K; i++ {
+		wg2.Add(1)
+		go func() {
+			defer wg2.Done()
+			if err := Check(past); !errors.Is(err, ErrExceeded) {
+				t.Errorf("Check(past) = %v, want ErrExceeded", err)
+			}
+		}()
+	}
+	wg2.Wait()
+	if errors.Is(context.Canceled, ErrExceeded) || errors.Is(ErrExceeded, context.Canceled) {
+		t.Error("transport-style cancellation conflated with the budget error")
 	}
 }

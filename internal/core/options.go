@@ -237,7 +237,23 @@ type Embedding struct {
 	// embedding (Options.WarmStart), persisted as "#meta warm_start" so a
 	// written embedding records its provenance.
 	WarmStarted bool
+
+	// Shard identity, set when this embedding is one item-side shard of a
+	// larger embedding (internal/shard, cmd/gebe-shard): the file holds
+	// the full U side but only V rows [ShardOffset, ShardOffset+V.Rows)
+	// of a ShardTotal-item embedding — shard ShardIndex of ShardCount.
+	// ShardCount == 0 means unsharded; the fields persist as one
+	// "#meta shard" line so a shard file is self-describing and the
+	// serving layer can remap global item ids without side channels.
+	ShardIndex  int
+	ShardCount  int
+	ShardOffset int
+	ShardTotal  int
 }
+
+// Sharded reports whether this embedding is an item-side shard of a
+// larger embedding.
+func (e *Embedding) Sharded() bool { return e.ShardCount > 0 }
 
 // K returns the embedding dimensionality.
 func (e *Embedding) K() int { return e.U.Cols }

@@ -35,6 +35,9 @@ type Span struct {
 	tr          *Trace
 	startAllocs uint64
 	ended       bool
+	// detached spans live under their parent but off the trace's
+	// open-span stack (StartChild); their End closes only themselves.
+	detached bool
 }
 
 // NewTrace returns a trace whose root span is open from now.
@@ -57,6 +60,24 @@ func (t *Trace) StartSpan(name string) *Span {
 	t.stack = append(t.stack, s)
 	t.mu.Unlock()
 	return s
+}
+
+// StartChild opens a child attached directly to s, bypassing the
+// trace's open-span stack. This is the concurrency-safe sibling form:
+// N goroutines fanning out under one parent each StartChild their own
+// span and End it independently — stack-based StartSpan would
+// interleave them, and an out-of-order End would close the lot. A
+// detached span's End closes only itself, and further StartChild calls
+// on it nest normally.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{Name: name, Start: time.Now(), tr: s.tr, startAllocs: heapAllocBytes(), detached: true}
+	s.tr.mu.Lock()
+	s.Children = append(s.Children, c)
+	s.tr.mu.Unlock()
+	return c
 }
 
 // Set attaches an attribute to the span (rendered into the JSON tree).
@@ -84,6 +105,14 @@ func (s *Span) End() {
 	allocs := heapAllocBytes()
 	s.tr.mu.Lock()
 	defer s.tr.mu.Unlock()
+	if s.detached {
+		if !s.ended {
+			s.ended = true
+			s.Duration = now.Sub(s.Start)
+			s.Allocs = allocs - s.startAllocs
+		}
+		return
+	}
 	for i := len(s.tr.stack) - 1; i >= 1; i-- {
 		open := s.tr.stack[i]
 		if !open.ended {

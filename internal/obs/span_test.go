@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -59,6 +60,71 @@ func TestSpanOutOfOrderEnd(t *testing.T) {
 	if !root.Children[0].Children[0].ended {
 		t.Error("inner span left open")
 	}
+}
+
+// TestStartChildConcurrentSiblings: detached children are the
+// fan-out-safe span form — N goroutines each open one under the same
+// parent and End them in arbitrary order without closing each other or
+// disturbing the trace's open-span stack.
+func TestStartChildConcurrentSiblings(t *testing.T) {
+	tr := NewTrace("run")
+	gather := tr.StartSpan("gather")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := gather.StartChild("shard")
+			c.Set("shard", i)
+			c.StartChild("attempt").End() // detached spans nest further
+			c.End()
+		}(i)
+	}
+	wg.Wait()
+	// The stack is undisturbed: a StartSpan after the fan-out is a
+	// sibling of gather, not a child of some shard span.
+	gather.End()
+	after := tr.StartSpan("encode")
+	after.End()
+	root := tr.Root()
+	if len(root.Children) != 2 || root.Children[1].Name != "encode" {
+		t.Fatalf("root children = %+v, want [gather encode]", root.Children)
+	}
+	shards := root.Children[0].Children
+	if len(shards) != 8 {
+		t.Fatalf("gather has %d children, want 8", len(shards))
+	}
+	for _, c := range shards {
+		if !c.ended || c.Name != "shard" {
+			t.Errorf("shard span %+v left open or misnamed", c)
+		}
+		if len(c.Children) != 1 || !c.Children[0].ended {
+			t.Errorf("nested attempt span wrong: %+v", c.Children)
+		}
+	}
+	// Ending a detached child twice or after its parent is harmless.
+	shards[0].End()
+}
+
+// TestStartChildNotClosedByStackEnd: an out-of-order End on a stack
+// span (which sweeps up everything opened after it) must not touch an
+// open detached child — the shard goroutine holding it may still be
+// running.
+func TestStartChildNotClosedByStackEnd(t *testing.T) {
+	tr := NewTrace("run")
+	outer := tr.StartSpan("outer")
+	c := outer.StartChild("inflight")
+	outer.End() // sweeps the stack, not the detached child
+	if c.ended {
+		t.Fatal("detached child closed by its parent's stack End")
+	}
+	c.End()
+	if !c.ended || c.Duration <= 0 {
+		t.Fatalf("detached child did not close itself: %+v", c)
+	}
+	// Nil safety mirrors StartSpan.
+	var nilSpan *Span
+	nilSpan.StartChild("x").Set("k", 1).End()
 }
 
 func TestTraceJSONRoundTrip(t *testing.T) {

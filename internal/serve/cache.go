@@ -22,7 +22,7 @@ type lruCache struct {
 
 type lruEntry struct {
 	key string
-	val []scoredItem
+	val []ScoredItem
 }
 
 // newLRU returns a cache bounded to cap entries, or nil when cap <= 0.
@@ -34,7 +34,7 @@ func newLRU(cap int) *lruCache {
 }
 
 // get returns the cached value and refreshes its recency.
-func (c *lruCache) get(key string) ([]scoredItem, bool) {
+func (c *lruCache) get(key string) ([]ScoredItem, bool) {
 	if c == nil {
 		return nil, false
 	}
@@ -52,7 +52,7 @@ func (c *lruCache) get(key string) ([]scoredItem, bool) {
 // entry when full. Values are stored as-is: callers must not mutate a
 // slice after handing it over (the handlers build a fresh slice per
 // miss and only ever read it back).
-func (c *lruCache) add(key string, val []scoredItem) {
+func (c *lruCache) add(key string, val []ScoredItem) {
 	if c == nil {
 		return
 	}

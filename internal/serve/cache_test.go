@@ -6,7 +6,7 @@ import (
 	"testing"
 )
 
-func items(v float64) []scoredItem { return []scoredItem{{Item: 1, Score: v}} }
+func items(v float64) []ScoredItem { return []ScoredItem{{Item: 1, Score: v}} }
 
 func TestLRUEviction(t *testing.T) {
 	c := newLRU(2)

@@ -164,9 +164,11 @@ func TestRequestIDPropagation(t *testing.T) {
 }
 
 func TestDeadlineTraceRetained(t *testing.T) {
+	// similar (unlike recommend, which degrades to a truncated 200) still
+	// maps a blown budget to 503, so its trace lands on the error ring.
 	s, _ := newTestServer(t, Config{TraceRequests: 4, Deadline: time.Nanosecond})
 	h := s.Handler()
-	w := postJSON(t, h, "/v1/recommend", `{"users":[0,1,2]}`)
+	w := get(t, h, "/v1/similar?id=1")
 	if w.Code != http.StatusServiceUnavailable {
 		t.Fatalf("status %d, want 503", w.Code)
 	}

@@ -45,10 +45,19 @@ func requestDeadline(r *http.Request) time.Time {
 	return time.Time{}
 }
 
+// testCheckpoint, when non-nil, replaces the deadline-derived scoring
+// checkpoint — the deterministic truncation hook for tests, which
+// cannot otherwise make a wall-clock budget expire between two specific
+// GEMM tiles. Never set outside _test files.
+var testCheckpoint func() func() error
+
 // checkpoint returns the cooperative cancellation hook scoring loops
 // call between GEMM tiles: nil when the request carries no budget, so
 // the scorer skips the clock entirely.
 func (s *Server) checkpoint(r *http.Request) func() error {
+	if testCheckpoint != nil {
+		return testCheckpoint()
+	}
 	dl := requestDeadline(r)
 	if dl.IsZero() {
 		return nil
@@ -175,6 +184,8 @@ func (s *Server) traced(next http.Handler) http.Handler {
 				cause = "deadline"
 			case status >= 500:
 				cause = "error"
+			case rec.Header().Get(TruncatedHeader) != "":
+				cause = "truncated"
 			}
 			elapsed := time.Since(t0)
 			if s.cfg.Log.Enabled(obs.LevelInfo) {
@@ -252,16 +263,31 @@ func endpointName(r *http.Request) string {
 	return "other"
 }
 
-// stamped derives the request's absolute compute deadline from the
-// configured per-request budget and attaches it to the context, both as
-// a value (for the scorer checkpoints) and as a context deadline (so
-// downstream code holding the context observes cancellation too).
+// stamped derives the request's absolute compute deadline and attaches
+// it to the context, both as a value (for the scorer checkpoints) and
+// as a context deadline (so downstream code holding the context
+// observes cancellation too). Two sources compose through
+// budget.Earliest: the configured per-request budget and a caller's
+// X-Gebe-Deadline-Ms header (remaining milliseconds — the form the
+// scatter/gather coordinator propagates so its deadline bounds every
+// shard call regardless of shard configuration). A malformed header is
+// ignored; a valid non-positive one means the caller's budget is
+// already gone and expires the request immediately.
 func (s *Server) stamped(next http.Handler) http.Handler {
-	if s.cfg.Deadline <= 0 {
-		return next
-	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		dl := time.Now().Add(s.cfg.Deadline)
+		var dl time.Time
+		if s.cfg.Deadline > 0 {
+			dl = time.Now().Add(s.cfg.Deadline)
+		}
+		if raw := r.Header.Get(DeadlineHeader); raw != "" {
+			if ms, err := strconv.ParseInt(raw, 10, 64); err == nil {
+				dl = budget.Earliest(dl, time.Now().Add(time.Duration(ms)*time.Millisecond))
+			}
+		}
+		if dl.IsZero() {
+			next.ServeHTTP(w, r)
+			return
+		}
 		ctx, cancel := context.WithDeadline(context.WithValue(r.Context(), deadlineKey{}, dl), dl)
 		defer cancel()
 		next.ServeHTTP(w, r.WithContext(ctx))

@@ -63,18 +63,37 @@ func newModel(version uint64, emb *core.Embedding, train *bigraph.Graph, annCfg 
 	}
 	m := &model{version: version, loaded: time.Now(), emb: emb}
 	if train != nil {
-		if train.NU > emb.U.Rows || train.NV > emb.V.Rows {
+		// A shard holds V rows [ShardOffset, ShardOffset+V.Rows) of a
+		// ShardTotal-item embedding but is given the FULL training graph —
+		// bigraph.ReadEdgeList densifies ids by first appearance, so
+		// splitting the edge file per shard would scramble the indexing.
+		// The slicing happens here instead: global item ids are validated
+		// against the full item count and remapped to shard-local rows;
+		// edges landing on other shards are dropped.
+		items := emb.V.Rows
+		if emb.Sharded() {
+			items = emb.ShardTotal
+		}
+		if train.NU > emb.U.Rows || train.NV > items {
 			return nil, fmt.Errorf("serve: training graph is %dx%d but embedding covers %dx%d",
-				train.NU, train.NV, emb.U.Rows, emb.V.Rows)
+				train.NU, train.NV, emb.U.Rows, items)
 		}
 		m.trainItems = make([]map[int]bool, emb.U.Rows)
+		lo, hi := emb.ShardOffset, emb.ShardOffset+emb.V.Rows
 		for _, e := range train.Edges {
+			v := e.V
+			if emb.Sharded() {
+				if v < lo || v >= hi {
+					continue
+				}
+				v -= lo
+			}
 			if m.trainItems[e.U] == nil {
 				m.trainItems[e.U] = make(map[int]bool)
 			}
-			m.trainItems[e.U][e.V] = true
+			m.trainItems[e.U][v] = true
+			m.trainEdges++
 		}
-		m.trainEdges = len(train.Edges)
 	}
 	m.uNorms = rowNorms(emb.U)
 	m.vNorms = rowNorms(emb.V)

@@ -113,6 +113,7 @@ type serveMetrics struct {
 	shed         *obs.Counter
 	panics       *obs.Counter
 	deadlines    *obs.Counter
+	truncated    *obs.Counter
 	cacheHit     *obs.Counter
 	cacheMiss    *obs.Counter
 	swaps        *obs.Counter
@@ -162,6 +163,7 @@ func New(emb *core.Embedding, train *bigraph.Graph, cfg Config) (*Server, error)
 		shed:         r.Counter("serve_shed_total", "requests shed with 429 at the concurrency limit"),
 		panics:       r.Counter("serve_panics_total", "handler panics recovered to 500"),
 		deadlines:    r.Counter("serve_deadline_total", "requests that blew the per-request budget (503)"),
+		truncated:    r.Counter("serve_truncated_total", "recommend requests answered partially after the budget expired mid-scoring (200 + truncated)"),
 		cacheHit:     r.Counter("serve_cache_hit_total", "recommend results answered from the LRU"),
 		cacheMiss:    r.Counter("serve_cache_miss_total", "recommend results scored afresh"),
 		swaps:        r.Counter("serve_model_swaps_total", "successful hot swaps of the served model"),
@@ -182,8 +184,8 @@ func New(emb *core.Embedding, train *bigraph.Graph, cfg Config) (*Server, error)
 	return s, nil
 }
 
-// scoredItem is one (id, score) pair in a ranked response list.
-type scoredItem struct {
+// ScoredItem is one (id, score) pair in a ranked response list.
+type ScoredItem struct {
 	Item  int     `json:"item"`
 	Score float64 `json:"score"`
 }
@@ -232,15 +234,21 @@ type recommendRequest struct {
 	Nprobe int `json:"nprobe"`
 }
 
-type userRecommendation struct {
+type UserRecommendation struct {
 	User   int          `json:"user"`
-	Items  []scoredItem `json:"items"`
+	Items  []ScoredItem `json:"items"`
 	Cached bool         `json:"cached,omitempty"`
 }
 
-type recommendResponse struct {
+type RecommendResponse struct {
 	N       int                  `json:"n"`
-	Results []userRecommendation `json:"results"`
+	Results []UserRecommendation `json:"results"`
+	// Truncated reports that the per-request budget expired mid-scoring
+	// and only a prefix of the batch was ranked: users whose lists were
+	// completed carry them, the rest have null items. Absent on complete
+	// responses, mirrored by the X-Gebe-Truncated header so callers can
+	// tell without parsing the body.
+	Truncated bool `json:"truncated,omitempty"`
 }
 
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
@@ -321,7 +329,13 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 
 	tr := obs.FromContext(r.Context())
 
-	resp := recommendResponse{N: n, Results: make([]userRecommendation, len(users))}
+	resp := RecommendResponse{N: n, Results: make([]UserRecommendation, len(users))}
+	// Prefill the user ids so a truncated response still names every
+	// requested user: unranked slots keep null items. A complete pass
+	// overwrites every slot, so complete responses are unchanged.
+	for i, u := range users {
+		resp.Results[i] = UserRecommendation{User: u}
+	}
 	// Serve cache hits first, then score the misses in one batched pass.
 	var missUsers []int
 	var missSlots []int
@@ -330,7 +344,7 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		key := cacheKey(m.version, u, n, mask, mode, nprobe)
 		if items, ok := s.cache.get(key); ok {
 			s.m.cacheHit.Inc()
-			resp.Results[i] = userRecommendation{User: u, Items: items, Cached: true}
+			resp.Results[i] = UserRecommendation{User: u, Items: items, Cached: true}
 			continue
 		}
 		if s.cache != nil {
@@ -353,9 +367,10 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		for mi, u := range missUsers {
 			if check != nil {
 				if err := check(); err != nil {
-					retrSp.Set("clusters", probed).Set("candidates", scored).End()
-					s.failBudget(w, err)
-					return
+					// Budget gone mid-batch: ship what was ranked instead of
+					// discarding it — every completed list is still exact.
+					resp.Truncated = true
+					break
 				}
 			}
 			var skip map[int]bool
@@ -367,12 +382,12 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 			})
 			probed += st.Probed
 			scored += st.Scored
-			items := make([]scoredItem, len(ids))
+			items := make([]ScoredItem, len(ids))
 			for j, id := range ids {
-				items[j] = scoredItem{Item: id, Score: scores[j]}
+				items[j] = ScoredItem{Item: id, Score: scores[j]}
 			}
 			s.cache.add(cacheKey(m.version, u, n, mask, mode, nprobe), items)
-			resp.Results[missSlots[mi]] = userRecommendation{User: u, Items: items}
+			resp.Results[missSlots[mi]] = UserRecommendation{User: u, Items: items}
 		}
 		retrSp.Set("clusters", probed).Set("candidates", scored).End()
 	default:
@@ -392,20 +407,29 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 				skip = m.trainItems[u]
 			}
 			ids := eval.TopNIndices(scores, n, skip)
-			items := make([]scoredItem, len(ids))
+			items := make([]ScoredItem, len(ids))
 			for j, id := range ids {
-				items[j] = scoredItem{Item: id, Score: scores[id]}
+				items[j] = ScoredItem{Item: id, Score: scores[id]}
 			}
 			s.cache.add(cacheKey(m.version, u, n, mask, mode, nprobe), items)
-			resp.Results[missSlots[mi]] = userRecommendation{User: u, Items: items}
+			resp.Results[missSlots[mi]] = UserRecommendation{User: u, Items: items}
 			mi++
 			rankSp.End()
 		})
 		scoreSp.End()
 		if err != nil {
-			s.failBudget(w, err)
-			return
+			if !errors.Is(err, budget.ErrExceeded) {
+				s.fail(w, http.StatusInternalServerError, err)
+				return
+			}
+			// Budget gone between tiles: the mi users already emitted carry
+			// complete exact lists; ship them as a partial answer.
+			resp.Truncated = true
 		}
+	}
+	if resp.Truncated {
+		s.m.truncated.Inc()
+		w.Header().Set(TruncatedHeader, "true")
 	}
 	encodeSp := tr.StartSpan("encode")
 	s.writeJSON(w, http.StatusOK, resp)
@@ -419,6 +443,21 @@ const (
 	modeApprox = "approx"
 
 	retrievalModeHeader = "X-Retrieval-Mode"
+)
+
+// Cross-process protocol headers, exported for the scatter/gather
+// coordinator (internal/shard) that fronts a fleet of these servers.
+const (
+	// TruncatedHeader marks a 200 recommend response whose batch was only
+	// partially ranked before the budget expired ("true" when set). The
+	// coordinator propagates it upward when any shard degrades.
+	TruncatedHeader = "X-Gebe-Truncated"
+	// DeadlineHeader carries the caller's remaining compute budget in
+	// integer milliseconds. The lifecycle layer folds it into the
+	// request deadline (earliest of header and configured budget wins),
+	// so a coordinator's deadline bounds the whole scatter no matter how
+	// each shard is configured.
+	DeadlineHeader = "X-Gebe-Deadline-Ms"
 )
 
 // cacheKey scopes cached lists to the model version that produced them:
@@ -438,7 +477,7 @@ func cacheKey(version uint64, user, n int, mask bool, mode string, nprobe int) s
 type similarResponse struct {
 	Side      string       `json:"side"`
 	ID        int          `json:"id"`
-	Neighbors []scoredItem `json:"neighbors"`
+	Neighbors []ScoredItem `json:"neighbors"`
 }
 
 // handleSimilar ranks same-side neighbors by cosine similarity:
@@ -509,9 +548,9 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 		// Single-exclusion fast path: no per-request skip map just to
 		// drop the query vertex from its own neighbor list.
 		ids := eval.TopNIndicesExcluding(scores, n, id)
-		resp.Neighbors = make([]scoredItem, len(ids))
+		resp.Neighbors = make([]ScoredItem, len(ids))
 		for j, nid := range ids {
-			resp.Neighbors[j] = scoredItem{Item: nid, Score: scores[nid]}
+			resp.Neighbors[j] = ScoredItem{Item: nid, Score: scores[nid]}
 		}
 		rankSp.End()
 	})
@@ -605,8 +644,20 @@ func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
 			"build_seconds":  m.ann.BuildSeconds(),
 		}
 	}
+	// A sharded server advertises which slice of the item side it holds;
+	// the coordinator reads this block to build its id-remapping tables.
+	var shardInfo map[string]any
+	if m.emb.Sharded() {
+		shardInfo = map[string]any{
+			"index":  m.emb.ShardIndex,
+			"count":  m.emb.ShardCount,
+			"offset": m.emb.ShardOffset,
+			"total":  m.emb.ShardTotal,
+		}
+	}
 	s.writeJSON(w, http.StatusOK, map[string]any{
-		"ann": annInfo,
+		"ann":            annInfo,
+		"shard":          shardInfo,
 		"build":          obs.BuildInfo(),
 		"model_version":  m.version,
 		"model_loaded":   m.loaded.UTC().Format(time.RFC3339),

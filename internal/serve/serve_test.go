@@ -12,7 +12,9 @@ import (
 	"testing"
 	"time"
 
+	"gebe/internal/ann"
 	"gebe/internal/bigraph"
+	"gebe/internal/budget"
 	"gebe/internal/core"
 	"gebe/internal/dense"
 	"gebe/internal/eval"
@@ -87,7 +89,7 @@ func TestRecommendMatchesEvalScorer(t *testing.T) {
 	if w.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", w.Code, w.Body)
 	}
-	resp := decode[recommendResponse](t, w)
+	resp := decode[RecommendResponse](t, w)
 	if resp.N != 6 || len(resp.Results) != 3 {
 		t.Fatalf("response shape: %+v", resp)
 	}
@@ -116,7 +118,7 @@ func TestRecommendMatchesEvalScorer(t *testing.T) {
 
 	// mask_train=false must surface the raw ranking.
 	w = postJSON(t, h, "/v1/recommend", `{"user":0,"n":4,"mask_train":false}`)
-	resp = decode[recommendResponse](t, w)
+	resp = decode[RecommendResponse](t, w)
 	ids, _ := sc.TopN(0, 4, nil)
 	for j, it := range resp.Results[0].Items {
 		if it.Item != ids[j] {
@@ -175,13 +177,13 @@ func TestRecommendCache(t *testing.T) {
 	s, reg := newTestServer(t, Config{CacheSize: 8})
 	h := s.Handler()
 	body := `{"users":[3,4],"n":5}`
-	first := decode[recommendResponse](t, postJSON(t, h, "/v1/recommend", body))
+	first := decode[RecommendResponse](t, postJSON(t, h, "/v1/recommend", body))
 	for _, r := range first.Results {
 		if r.Cached {
 			t.Errorf("first request reported cached for user %d", r.User)
 		}
 	}
-	second := decode[recommendResponse](t, postJSON(t, h, "/v1/recommend", body))
+	second := decode[RecommendResponse](t, postJSON(t, h, "/v1/recommend", body))
 	for i, r := range second.Results {
 		if !r.Cached {
 			t.Errorf("second request not cached for user %d", r.User)
@@ -197,7 +199,7 @@ func TestRecommendCache(t *testing.T) {
 		t.Errorf("cache misses = %v, want 2", misses)
 	}
 	// A different n is a different cache entry.
-	third := decode[recommendResponse](t, postJSON(t, h, "/v1/recommend", `{"users":[3],"n":2}`))
+	third := decode[RecommendResponse](t, postJSON(t, h, "/v1/recommend", `{"users":[3],"n":2}`))
 	if third.Results[0].Cached {
 		t.Error("different n answered from cache")
 	}
@@ -375,11 +377,12 @@ func TestHealthzAndInfo(t *testing.T) {
 
 func TestDeadline503(t *testing.T) {
 	// A 1ns budget is blown before the first scoring tile: the
-	// checkpoint fires deterministically and the request maps to 503.
+	// checkpoint fires deterministically. similar and score map it to
+	// 503; recommend degrades to a truncated 200 instead (every list is
+	// droppable independently, so partial answers beat none).
 	s, reg := newTestServer(t, Config{Deadline: time.Nanosecond})
 	h := s.Handler()
 	for _, req := range []func() *httptest.ResponseRecorder{
-		func() *httptest.ResponseRecorder { return postJSON(t, h, "/v1/recommend", `{"user":1}`) },
 		func() *httptest.ResponseRecorder { return get(t, h, "/v1/similar?id=1") },
 		func() *httptest.ResponseRecorder { return postJSON(t, h, "/v1/score", `{"pairs":[[0,0]]}`) },
 	} {
@@ -391,12 +394,189 @@ func TestDeadline503(t *testing.T) {
 			t.Error("503 without Retry-After")
 		}
 	}
-	if got := reg.Counter("serve_deadline_total", "").Value(); got != 3 {
-		t.Errorf("deadline counter = %v, want 3", got)
+	if got := reg.Counter("serve_deadline_total", "").Value(); got != 2 {
+		t.Errorf("deadline counter = %v, want 2", got)
+	}
+	w := postJSON(t, h, "/v1/recommend", `{"user":1}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("recommend under blown budget: status %d, want 200: %s", w.Code, w.Body)
+	}
+	if w.Header().Get(TruncatedHeader) != "true" {
+		t.Errorf("recommend under blown budget: missing %s header", TruncatedHeader)
+	}
+	resp := decode[RecommendResponse](t, w)
+	if !resp.Truncated {
+		t.Error("recommend under blown budget: truncated flag not set")
+	}
+	if len(resp.Results) != 1 || resp.Results[0].User != 1 || resp.Results[0].Items != nil {
+		t.Errorf("truncated results = %+v, want the named user with null items", resp.Results)
+	}
+	if got := reg.Counter("serve_truncated_total", "").Value(); got != 1 {
+		t.Errorf("truncated counter = %v, want 1", got)
 	}
 	// healthz does no scoring and must stay 200 under the same budget.
 	if w := get(t, h, "/v1/healthz"); w.Code != http.StatusOK {
 		t.Errorf("healthz under deadline: status %d", w.Code)
+	}
+}
+
+// TestRecommendTruncatedMidBatch drives both retrieval paths into a
+// deterministic mid-batch budget expiry via the testCheckpoint hook:
+// the response must be a 200 carrying the completed prefix, the
+// truncated flag, and the X-Gebe-Truncated header — never a 503 that
+// throws finished work away.
+func TestRecommendTruncatedMidBatch(t *testing.T) {
+	users := make([]int, 20)
+	for i := range users {
+		users[i] = i
+	}
+	body, _ := json.Marshal(users)
+	cases := []struct {
+		name string
+		mode string
+		// allow is how many checkpoint calls succeed before the budget
+		// "expires". Exact checks once per 16-user GEMM tile, approx once
+		// per user.
+		allow        int
+		wantComplete int
+	}{
+		{name: "exact first tile lands", mode: "exact", allow: 1, wantComplete: 16},
+		{name: "approx two users land", mode: "approx", allow: 2, wantComplete: 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			testCheckpoint = func() func() error {
+				calls := 0
+				return func() error {
+					if calls++; calls > tc.allow {
+						return budget.ErrExceeded
+					}
+					return nil
+				}
+			}
+			defer func() { testCheckpoint = nil }()
+			s, reg := newTestServer(t, Config{ANN: &ann.Config{Clusters: 4, Seed: 1}})
+			req := fmt.Sprintf(`{"users":%s,"mode":%q}`, body, tc.mode)
+			w := postJSON(t, s.Handler(), "/v1/recommend", req)
+			if w.Code != http.StatusOK {
+				t.Fatalf("status %d, want 200: %s", w.Code, w.Body)
+			}
+			if w.Header().Get(TruncatedHeader) != "true" {
+				t.Errorf("missing %s header", TruncatedHeader)
+			}
+			resp := decode[RecommendResponse](t, w)
+			if !resp.Truncated {
+				t.Error("truncated flag not set")
+			}
+			if len(resp.Results) != len(users) {
+				t.Fatalf("%d results, want %d (every requested user named)", len(resp.Results), len(users))
+			}
+			complete := 0
+			for i, r := range resp.Results {
+				if r.User != users[i] {
+					t.Fatalf("result %d is user %d, want %d", i, r.User, users[i])
+				}
+				if r.Items == nil {
+					continue
+				}
+				complete++
+				if i >= tc.wantComplete {
+					t.Errorf("user %d ranked after the budget expired", r.User)
+				}
+				if len(r.Items) == 0 {
+					t.Errorf("user %d has a complete but empty list", r.User)
+				}
+			}
+			if complete != tc.wantComplete {
+				t.Errorf("%d complete lists, want %d", complete, tc.wantComplete)
+			}
+			if got := reg.Counter("serve_truncated_total", "").Value(); got != 1 {
+				t.Errorf("truncated counter = %v, want 1", got)
+			}
+			if got := reg.Counter("serve_deadline_total", "").Value(); got != 0 {
+				t.Errorf("deadline counter = %v, want 0 (truncation is not a 503)", got)
+			}
+		})
+	}
+}
+
+// TestShardedModelTrainSlicing: a shard is handed the FULL training
+// graph (splitting the edge file would scramble ReadEdgeList's
+// first-appearance indexing) and must slice it internally — global item
+// ids remapped to shard-local rows, off-shard edges dropped.
+func TestShardedModelTrainSlicing(t *testing.T) {
+	emb, g := testEmbedding(t)
+	// Cut V rows [10,20) of the 35-item embedding into a fake shard.
+	sharded := *emb
+	sharded.V = dense.New(10, emb.V.Cols)
+	copy(sharded.V.Data, emb.V.Data[10*emb.V.Cols:20*emb.V.Cols])
+	sharded.ShardIndex, sharded.ShardCount = 1, 3
+	sharded.ShardOffset, sharded.ShardTotal = 10, 35
+	m, err := newModel(1, &sharded, g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// testEmbedding's train edges: user 0 → {1,2,3} (all off-shard),
+	// user 5 → {10,11} (on-shard, local rows 0 and 1).
+	if m.trainItems[0] != nil {
+		t.Errorf("user 0 exclusions %v, want none (all items off-shard)", m.trainItems[0])
+	}
+	if !m.trainItems[5][0] || !m.trainItems[5][1] || len(m.trainItems[5]) != 2 {
+		t.Errorf("user 5 exclusions %v, want local rows {0,1}", m.trainItems[5])
+	}
+	if m.trainEdges != 2 {
+		t.Errorf("trainEdges = %d, want 2 (only on-shard edges kept)", m.trainEdges)
+	}
+	// The full train graph must validate against ShardTotal, not the
+	// shard's own (smaller) V side.
+	s, err := New(&sharded, g, Config{Metrics: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := get(t, s.Handler(), "/v1/info")
+	info := decode[map[string]any](t, w)
+	sh, ok := info["shard"].(map[string]any)
+	if !ok {
+		t.Fatalf("/v1/info has no shard block: %v", info)
+	}
+	if sh["index"] != 1.0 || sh["count"] != 3.0 || sh["offset"] != 10.0 || sh["total"] != 35.0 {
+		t.Errorf("shard block = %v", sh)
+	}
+}
+
+// TestDeadlineHeader exercises X-Gebe-Deadline-Ms: a caller-propagated
+// budget must bound requests on a server with no configured deadline,
+// and a malformed value must be ignored rather than rejected.
+func TestDeadlineHeader(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	h := s.Handler()
+	send := func(path, body, header string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest("POST", path, strings.NewReader(body))
+		if header != "" {
+			req.Header.Set(DeadlineHeader, header)
+		}
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		return w
+	}
+	// An already-spent caller budget expires the request immediately:
+	// recommend degrades to truncated, similar stays a 503.
+	if w := send("/v1/recommend", `{"user":1}`, "0"); w.Code != http.StatusOK || w.Header().Get(TruncatedHeader) != "true" {
+		t.Errorf("spent header budget: status %d truncated %q, want 200/true", w.Code, w.Header().Get(TruncatedHeader))
+	}
+	req := httptest.NewRequest("GET", "/v1/similar?id=1", nil)
+	req.Header.Set(DeadlineHeader, "0")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Errorf("similar under spent header budget: status %d, want 503", w.Code)
+	}
+	// A generous budget and a malformed value both leave the request
+	// unconstrained.
+	for _, hv := range []string{"60000", "soon", ""} {
+		if w := send("/v1/recommend", `{"user":1}`, hv); w.Code != http.StatusOK || w.Header().Get(TruncatedHeader) != "" {
+			t.Errorf("header %q: status %d truncated %q, want clean 200", hv, w.Code, w.Header().Get(TruncatedHeader))
+		}
 	}
 }
 

@@ -35,7 +35,7 @@ func altEmbedding(t testing.TB) *core.Embedding {
 
 // expectTopN computes the reference recommendation list for one user
 // directly through the eval scorer over a given embedding.
-func expectTopN(emb *core.Embedding, g *bigraph.Graph, user, n int) []scoredItem {
+func expectTopN(emb *core.Embedding, g *bigraph.Graph, user, n int) []ScoredItem {
 	sc := eval.NewScorer(emb.U, emb.V)
 	var skip map[int]bool
 	if g != nil {
@@ -47,9 +47,9 @@ func expectTopN(emb *core.Embedding, g *bigraph.Graph, user, n int) []scoredItem
 		}
 	}
 	ids, scores := sc.TopN(user, n, skip)
-	items := make([]scoredItem, len(ids))
+	items := make([]ScoredItem, len(ids))
 	for j := range ids {
-		items[j] = scoredItem{Item: ids[j], Score: scores[j]}
+		items[j] = ScoredItem{Item: ids[j], Score: scores[j]}
 	}
 	return items
 }
@@ -102,8 +102,8 @@ func TestSwapInvalidatesCache(t *testing.T) {
 	alt := altEmbedding(t)
 
 	body := `{"users":[3],"n":5}`
-	first := decode[recommendResponse](t, postJSON(t, h, "/v1/recommend", body))
-	warm := decode[recommendResponse](t, postJSON(t, h, "/v1/recommend", body))
+	first := decode[RecommendResponse](t, postJSON(t, h, "/v1/recommend", body))
+	warm := decode[RecommendResponse](t, postJSON(t, h, "/v1/recommend", body))
 	if !warm.Results[0].Cached {
 		t.Fatal("second identical query not cached before swap")
 	}
@@ -115,7 +115,7 @@ func TestSwapInvalidatesCache(t *testing.T) {
 		t.Errorf("cache holds %d entries after swap, want 0", s.cache.len())
 	}
 
-	after := decode[recommendResponse](t, postJSON(t, h, "/v1/recommend", body))
+	after := decode[RecommendResponse](t, postJSON(t, h, "/v1/recommend", body))
 	if after.Results[0].Cached {
 		t.Fatal("stale cache hit served after model swap")
 	}
@@ -275,7 +275,7 @@ func TestConcurrentSwapAndQuery(t *testing.T) {
 
 	// Version v serves embA when odd (New started at 1 with embA), embB
 	// when even — the swap loop below alternates strictly.
-	wantByParity := map[int][]scoredItem{
+	wantByParity := map[int][]ScoredItem{
 		1: expectTopN(embA, g, 3, 5),
 		0: expectTopN(embB, g, 3, 5),
 	}
@@ -301,7 +301,7 @@ func TestConcurrentSwapAndQuery(t *testing.T) {
 					errs <- "missing X-Model-Version"
 					continue
 				}
-				resp := recommendResponse{}
+				resp := RecommendResponse{}
 				if err := json.NewDecoder(w.Body).Decode(&resp); err != nil {
 					errs <- err.Error()
 					continue

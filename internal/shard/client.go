@@ -1,0 +1,152 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"gebe/internal/obs"
+)
+
+// maxAttempts bounds how many HTTP attempts one logical shard call may
+// make: the primary plus one more — either a hedge (the primary is
+// slow) or a retry (the primary failed in transport). One spare keeps
+// tail latency bounded without doubling shard load under stress.
+const maxAttempts = 2
+
+// maxShardBody bounds a shard response read; the largest legitimate
+// body is a MaxBatch×MaxN recommend list, far under this.
+const maxShardBody = 64 << 20
+
+// Response is one shard's HTTP answer, fully read. Any status counts:
+// transport succeeded, so the caller classifies 4xx/5xx itself (a 400
+// propagates to the client, a 5xx degrades the gather) — neither is
+// retried or hedged over.
+type Response struct {
+	Status int
+	Header http.Header
+	Body   []byte
+}
+
+// clientMetrics counts the fan-out behaviors shared by every Client of
+// one Coordinator.
+type clientMetrics struct {
+	hedges  *obs.Counter
+	retries *obs.Counter
+}
+
+// Client issues HTTP calls to one shard with bounded redundancy: a
+// retry on transport error, and a hedged second request when the first
+// is still unanswered after hedgeAfter. Whichever attempt answers
+// first wins; the loser's request context is cancelled so its
+// connection and goroutine wind down immediately — attempts report on
+// a buffered channel, so no goroutine ever blocks on a lost race.
+type Client struct {
+	addr       string // base URL, e.g. "http://127.0.0.1:8091"
+	hc         *http.Client
+	hedgeAfter time.Duration // 0 disables hedging
+	m          *clientMetrics
+}
+
+type attemptResult struct {
+	resp *Response
+	err  error
+}
+
+// Do performs one logical call: method+path+body against the shard,
+// with hdr (may be nil) copied onto every attempt. The context bounds
+// the whole call — deadline and cancellation included; callers
+// propagate the request's remaining budget both here and in the
+// X-Gebe-Deadline-Ms header so the shard stops computing when the
+// coordinator stops waiting.
+func (c *Client) Do(ctx context.Context, method, path string, hdr http.Header, body []byte) (*Response, error) {
+	cctx, cancel := context.WithCancel(ctx)
+	// Cancelling on return kills the losing in-flight attempt; the
+	// winner's body is fully read before its result is sent, so the
+	// cancel can never truncate it.
+	defer cancel()
+
+	results := make(chan attemptResult, maxAttempts)
+	launched := 0
+	launch := func() {
+		launched++
+		go func() {
+			resp, err := c.once(cctx, method, path, hdr, body)
+			results <- attemptResult{resp, err}
+		}()
+	}
+	launch()
+
+	var hedge <-chan time.Time
+	if c.hedgeAfter > 0 {
+		t := time.NewTimer(c.hedgeAfter)
+		defer t.Stop()
+		hedge = t.C
+	}
+
+	var firstErr error
+	done := 0
+	for {
+		select {
+		case <-cctx.Done():
+			if firstErr != nil {
+				return nil, fmt.Errorf("%s%s: %w (after %v)", c.addr, path, firstErr, cctx.Err())
+			}
+			return nil, fmt.Errorf("%s%s: %w", c.addr, path, cctx.Err())
+		case <-hedge:
+			hedge = nil
+			if launched < maxAttempts {
+				c.m.hedges.Inc()
+				launch()
+			}
+		case a := <-results:
+			if a.err == nil {
+				return a.resp, nil
+			}
+			done++
+			if firstErr == nil {
+				firstErr = a.err
+			}
+			if launched < maxAttempts && cctx.Err() == nil {
+				c.m.retries.Inc()
+				launch()
+				continue
+			}
+			if done == launched {
+				return nil, fmt.Errorf("%s%s: %w", c.addr, path, firstErr)
+			}
+		}
+	}
+}
+
+// once is a single HTTP attempt: build, send, read the body to
+// completion. Everything runs under ctx so a cancelled loser aborts
+// mid-transfer.
+func (c *Client) once(ctx context.Context, method, path string, hdr http.Header, body []byte) (*Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.addr+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	for k, vs := range hdr {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxShardBody))
+	if err != nil {
+		return nil, err
+	}
+	return &Response{Status: resp.StatusCode, Header: resp.Header, Body: b}, nil
+}

@@ -1,0 +1,207 @@
+package shard
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gebe/internal/obs"
+)
+
+func newTestClient(t *testing.T, h http.Handler, hedgeAfter time.Duration) (*Client, *clientMetrics) {
+	t.Helper()
+	hs := httptest.NewServer(h)
+	t.Cleanup(hs.Close)
+	reg := obs.NewRegistry()
+	m := &clientMetrics{
+		hedges:  reg.Counter("shard_hedge_total", ""),
+		retries: reg.Counter("shard_retry_total", ""),
+	}
+	return &Client{addr: hs.URL, hc: hs.Client(), hedgeAfter: hedgeAfter, m: m}, m
+}
+
+func TestClientPlainCall(t *testing.T) {
+	c, m := newTestClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("X-Request-ID") != "rid-1" {
+			t.Errorf("header not forwarded: %q", r.Header.Get("X-Request-ID"))
+		}
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ok"))
+	}), 0)
+	hdr := http.Header{}
+	hdr.Set("X-Request-ID", "rid-1")
+	resp, err := c.Do(context.Background(), http.MethodGet, "/v1/healthz", hdr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != http.StatusOK || string(resp.Body) != "ok" {
+		t.Errorf("got %d %q", resp.Status, resp.Body)
+	}
+	if m.hedges.Value() != 0 || m.retries.Value() != 0 {
+		t.Errorf("plain call counted hedges=%v retries=%v", m.hedges.Value(), m.retries.Value())
+	}
+}
+
+// TestClientErrorStatusIsNotRetried: any HTTP status is a transport
+// success — a 503 comes back as a Response for the gather to classify,
+// and the shard is not hit again.
+func TestClientErrorStatusIsNotRetried(t *testing.T) {
+	var calls atomic.Int32
+	c, m := newTestClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}), 0)
+	resp, err := c.Do(context.Background(), http.MethodGet, "/v1/similar", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != http.StatusServiceUnavailable {
+		t.Errorf("status = %d, want 503", resp.Status)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("shard saw %d calls, want 1", got)
+	}
+	if m.retries.Value() != 0 {
+		t.Errorf("503 was retried")
+	}
+}
+
+// TestClientRetriesTransportError: a connection that dies mid-request
+// is retried once; the retry succeeds.
+func TestClientRetriesTransportError(t *testing.T) {
+	var calls atomic.Int32
+	c, m := newTestClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Fatal("recorder is not a hijacker")
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				t.Fatal(err)
+			}
+			conn.Close() // transport error on the client side
+			return
+		}
+		w.Write([]byte("recovered"))
+	}), 0)
+	resp, err := c.Do(context.Background(), http.MethodGet, "/v1/info", nil, nil)
+	if err != nil {
+		t.Fatalf("retry did not recover: %v", err)
+	}
+	if string(resp.Body) != "recovered" {
+		t.Errorf("body = %q", resp.Body)
+	}
+	if m.retries.Value() != 1 {
+		t.Errorf("shard_retry_total = %v, want 1", m.retries.Value())
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("shard saw %d calls, want 2", got)
+	}
+}
+
+// TestClientRetryExhaustion: both attempts failing surfaces the first
+// error; maxAttempts bounds the damage.
+func TestClientRetryExhaustion(t *testing.T) {
+	var calls atomic.Int32
+	c, _ := newTestClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		hj := w.(http.Hijacker)
+		conn, _, _ := hj.Hijack()
+		conn.Close()
+	}), 0)
+	if _, err := c.Do(context.Background(), http.MethodGet, "/v1/info", nil, nil); err == nil {
+		t.Fatal("want error after exhausted retries")
+	}
+	if got := calls.Load(); got != int32(maxAttempts) {
+		t.Errorf("shard saw %d calls, want %d", got, maxAttempts)
+	}
+}
+
+// TestClientHedgeWins: when the primary stalls, the hedge answers and
+// the stalled attempt is cancelled — Do returns the hedge's response
+// well before the primary would have finished.
+func TestClientHedgeWins(t *testing.T) {
+	var calls atomic.Int32
+	c, m := newTestClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// Primary: stall until cancelled. Selecting on the request
+			// context keeps the server goroutine from outliving the test.
+			<-r.Context().Done()
+			return
+		}
+		w.Write([]byte("hedge"))
+	}), 5*time.Millisecond)
+	t0 := time.Now()
+	resp, err := c.Do(context.Background(), http.MethodGet, "/v1/similar", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Body) != "hedge" {
+		t.Errorf("body = %q, want hedge's answer", resp.Body)
+	}
+	if m.hedges.Value() != 1 {
+		t.Errorf("shard_hedge_total = %v, want 1", m.hedges.Value())
+	}
+	if elapsed := time.Since(t0); elapsed > 2*time.Second {
+		t.Errorf("hedged call took %v — waited for the stalled primary", elapsed)
+	}
+}
+
+// TestClientContextCancel: cancelling the caller's context aborts the
+// call with the context error.
+func TestClientContextCancel(t *testing.T) {
+	started := make(chan struct{}, maxAttempts)
+	c, _ := newTestClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		started <- struct{}{}
+		<-r.Context().Done()
+	}), 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-started
+		cancel()
+	}()
+	if _, err := c.Do(ctx, http.MethodGet, "/v1/similar", nil, nil); err == nil {
+		t.Fatal("want error from cancelled context")
+	}
+}
+
+// TestClientNoGoroutineLeak is satellite coverage for the hedging
+// contract: after many hedged calls whose losers were in flight when
+// the winner returned, the goroutine count settles back to baseline —
+// losing attempts are context-cancelled, not abandoned.
+func TestClientNoGoroutineLeak(t *testing.T) {
+	var calls atomic.Int32
+	c, _ := newTestClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1)%2 == 1 {
+			<-r.Context().Done() // every odd call stalls until cancelled
+			return
+		}
+		w.Write([]byte("ok"))
+	}), time.Millisecond)
+	before := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		if _, err := c.Do(context.Background(), http.MethodGet, "/v1/similar", nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Cancelled losers unwind asynchronously; poll until they are gone.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: before=%d after=%d\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

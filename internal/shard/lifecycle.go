@@ -1,0 +1,317 @@
+package shard
+
+// The coordinator's request lifecycle mirrors serve's minus load
+// shedding (the coordinator does ~no compute — backpressure belongs on
+// the shards, whose 429s degrade a gather the same way any shard error
+// does):
+//
+//	recover → in-flight gauge → tracing → deadline stamp → mux
+//
+// Deadline stamping runs before the mux so the context deadline bounds
+// the whole scatter; scatterHeaders re-derives the REMAINING budget at
+// fan-out time, so shard calls never get more time than the coordinator
+// has left.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"gebe/internal/budget"
+	"gebe/internal/obs"
+	"gebe/internal/serve"
+)
+
+// lifecycle wraps the routed mux in the outer layers.
+func (c *Coordinator) lifecycle(next http.Handler) http.Handler {
+	return c.recovered(c.counted(c.traced(c.stamped(next))))
+}
+
+// bypassed mirrors serve's rule: probes, admin reload, and diagnostics
+// skip tracing — they must stay cheap and reachable while the fleet is
+// misbehaving.
+func bypassed(path string) bool {
+	return path == "/v1/healthz" || path == "/v1/reload" || strings.HasPrefix(path, "/debug/")
+}
+
+// recovered converts handler panics into JSON 500s; a bad gather must
+// not take the coordinator (and the whole serving fleet's front door)
+// down with it.
+func (c *Coordinator) recovered(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				c.m.panics.Inc()
+				c.cfg.Log.Error("coord: handler panic", "path", r.URL.Path, "panic", fmt.Sprint(v))
+				c.fail(w, http.StatusInternalServerError, fmt.Errorf("internal error"))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// counted maintains the in-flight gauge across every request.
+func (c *Coordinator) counted(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c.m.inflight.Add(1)
+		defer c.m.inflight.Add(-1)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// traced mints or propagates X-Request-ID (the same id every shard call
+// carries, so one request correlates across the whole fleet's logs),
+// opens the per-request trace the scatter/gather spans hang off, emits
+// the access-log line, and offers the finished trace to the retention
+// ring.
+func (c *Coordinator) traced(next http.Handler) http.Handler {
+	if c.tlog == nil && c.cfg.Log == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if bypassed(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		t0 := time.Now()
+		id := c.requestID(r)
+		ep := endpointName(r)
+		var tr *obs.Trace
+		req := r
+		if c.tlog != nil {
+			tr = obs.NewTrace(ep)
+			req = r.WithContext(obs.ContextWithTrace(r.Context(), tr))
+		}
+		// Shard calls read the id from the inbound header; make the
+		// minted one visible to them and to the client alike.
+		req.Header.Set("X-Request-ID", id)
+		w.Header().Set("X-Request-ID", id)
+		rec := &statusRecorder{ResponseWriter: w}
+		panicked := true
+		defer func() {
+			status := rec.code
+			if status == 0 {
+				status = http.StatusOK
+			}
+			cause := ""
+			switch {
+			case panicked:
+				status, cause = http.StatusInternalServerError, "panic"
+			case status == http.StatusServiceUnavailable:
+				cause = "unavailable"
+			case status >= 500:
+				cause = "error"
+			case rec.Header().Get(serve.TruncatedHeader) != "":
+				cause = "truncated"
+			}
+			elapsed := time.Since(t0)
+			if c.cfg.Log.Enabled(obs.LevelInfo) {
+				args := []any{
+					"id", id, "endpoint", ep, "status", status,
+					"bytes", rec.bytes, "elapsed", elapsed,
+				}
+				if v := rec.Header().Get("X-Model-Version"); v != "" {
+					args = append(args, "model_version", v)
+				}
+				if cause != "" {
+					args = append(args, "cause", cause)
+				}
+				c.cfg.Log.Info("coord: access", args...)
+			}
+			if tr != nil {
+				c.tlog.Add(obs.TraceEntry{
+					ID: id, Name: ep, Status: status, Bytes: rec.bytes,
+					Start: t0, Elapsed: elapsed, Cause: cause, Trace: tr.Root(),
+				})
+			}
+		}()
+		next.ServeHTTP(rec, req)
+		panicked = false
+	})
+}
+
+// stamped attaches the coordinator's compute deadline as a context
+// deadline so every scatter inherits it. The configured budget composes
+// with a caller's X-Gebe-Deadline-Ms header through budget.Earliest —
+// the same two-source rule the shards apply, so a coordinator behind
+// another coordinator still honors the tightest bound.
+func (c *Coordinator) stamped(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var dl time.Time
+		if c.cfg.Deadline > 0 {
+			dl = time.Now().Add(c.cfg.Deadline)
+		}
+		if raw := r.Header.Get(serve.DeadlineHeader); raw != "" {
+			if ms, err := strconv.ParseInt(raw, 10, 64); err == nil {
+				dl = budget.Earliest(dl, time.Now().Add(time.Duration(ms)*time.Millisecond))
+			}
+		}
+		if dl.IsZero() {
+			next.ServeHTTP(w, r)
+			return
+		}
+		ctx, cancel := context.WithDeadline(r.Context(), dl)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// requestID propagates a sane client-supplied X-Request-ID and mints a
+// process-unique one otherwise.
+func (c *Coordinator) requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-ID"); id != "" && len(id) <= 64 && printableASCII(id) {
+		return id
+	}
+	return c.ridPrefix + strconv.FormatUint(c.rid.Add(1), 10)
+}
+
+func printableASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] <= ' ' || s[i] > '~' {
+			return false
+		}
+	}
+	return true
+}
+
+// endpointName maps a request path to the instrumented endpoint label;
+// unrouted paths share one bucket so an URL-shaped attack cannot mint
+// unbounded label values.
+func endpointName(r *http.Request) string {
+	switch r.URL.Path {
+	case "/v1/recommend":
+		return "recommend"
+	case "/v1/similar":
+		return "similar"
+	case "/v1/score":
+		return "score"
+	case "/v1/healthz":
+		return "healthz"
+	case "/v1/info":
+		return "info"
+	case "/v1/reload":
+		return "reload"
+	}
+	return "other"
+}
+
+// statusRecorder captures the response code and byte count for
+// instrumentation and the access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusRecorder) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusRecorder) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps one endpoint with its latency histogram and the
+// per-endpoint status-code counters.
+func (c *Coordinator) instrument(name string, h http.HandlerFunc) http.Handler {
+	hist := c.m.seconds[name]
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		rec, ok := w.(*statusRecorder)
+		if !ok {
+			rec = &statusRecorder{ResponseWriter: w}
+		}
+		h(rec, r)
+		code := rec.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		hist.ObserveSince(t0)
+		c.m.status.With(fmt.Sprintf("%s_%d", name, code)).Inc()
+	})
+}
+
+// handleDebugRequests mirrors serve's /debug/requests summary over the
+// coordinator's own retention ring.
+func (c *Coordinator) handleDebugRequests(w http.ResponseWriter, _ *http.Request) {
+	entries := c.tlog.Entries()
+	c.writeJSON(w, http.StatusOK, map[string]any{
+		"capacity": c.tlog.Cap(),
+		"count":    len(entries),
+		"requests": entries,
+	})
+}
+
+// handleDebugRequest returns one retained request in full.
+func (c *Coordinator) handleDebugRequest(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, ok := c.tlog.Get(id)
+	if !ok {
+		c.fail(w, http.StatusNotFound,
+			fmt.Errorf("request %q not retained (kept: %d slowest + recent errored)", id, c.tlog.Cap()))
+		return
+	}
+	c.writeJSON(w, http.StatusOK, e)
+}
+
+// LatencySnapshot captures the coordinator's latency state in the same
+// schema serve emits, so cmd/gebe-regress's latency mode gates
+// results/COORD_LATENCY.json with zero new tooling.
+func (c *Coordinator) LatencySnapshot() serve.LatencySnapshot {
+	snap := serve.LatencySnapshot{
+		CreatedAt:     time.Now().UTC(),
+		Build:         obs.BuildInfo(),
+		UptimeSeconds: time.Since(c.start).Seconds(),
+		Endpoints:     make(map[string]serve.EndpointLatency, len(endpoints)),
+		Counters: map[string]float64{
+			"panics":           c.m.panics.Value(),
+			"truncated":        c.m.truncated.Value(),
+			"shard_unhealthy":  c.m.ejections.Value(),
+			"shard_readmit":    c.m.readmissions.Value(),
+			"shard_hedge":      c.m.hedges.Value(),
+			"shard_retry":      c.m.retries.Value(),
+			"scatter_calls":    c.m.scatterCalls.Value(),
+			"scatter_failures": c.m.scatterFailures.Value(),
+		},
+	}
+	for _, ep := range endpoints {
+		h := c.m.seconds[ep]
+		lat := serve.EndpointLatency{
+			Count:      h.Count(),
+			SumSeconds: h.Sum(),
+			Empty:      h.Count() == 0,
+			Quantiles:  make(map[string]float64, len(serve.SnapshotQuantiles)),
+		}
+		for name, q := range serve.SnapshotQuantiles {
+			lat.Quantiles[name] = h.Quantile(q)
+		}
+		snap.Endpoints[ep] = lat
+	}
+	return snap
+}
+
+// WriteLatencySnapshot persists the snapshot as indented JSON.
+func (c *Coordinator) WriteLatencySnapshot(path string) error {
+	b, err := json.MarshalIndent(c.LatencySnapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -1,0 +1,103 @@
+// Package shard partitions the item side of a trained embedding across
+// processes and coordinates queries over the resulting fleet: a
+// deterministic contiguous row partition (cmd/gebe-shard splits one
+// embedding file into N self-describing shard files), and a
+// scatter/gather coordinator (cmd/gebe-coord) that fronts N gebe-serve
+// item-shard processes behind the same /v1 API — scattering each query
+// to every shard under the request's remaining internal/budget
+// deadline, hedging slow shards, and merging per-shard top-N lists
+// through the shared eval.TopNHeap so a full-health gather is
+// bitwise-identical to a single unsharded server.
+package shard
+
+import (
+	"fmt"
+
+	"gebe/internal/core"
+	"gebe/internal/dense"
+)
+
+// Partition is the deterministic contiguous row partition of a
+// Total-row item side across Count shards: shard i holds rows
+// [Range(i)). The first Total%Count shards take one extra row, so shard
+// sizes differ by at most one and the mapping is a pure function of
+// (Total, Count) — any process that knows both reconstructs the same
+// partition with no coordination.
+type Partition struct {
+	Total, Count int
+}
+
+// NewPartition validates a partition shape. Empty shards are rejected:
+// a shard with no rows would serve nothing and still cost a scatter
+// call, so Count may not exceed Total.
+func NewPartition(total, count int) (Partition, error) {
+	if total < 0 {
+		return Partition{}, fmt.Errorf("shard: negative item count %d", total)
+	}
+	if count <= 0 {
+		return Partition{}, fmt.Errorf("shard: shard count must be positive, got %d", count)
+	}
+	if count > total {
+		return Partition{}, fmt.Errorf("shard: %d shards over %d items leaves empty shards", count, total)
+	}
+	return Partition{Total: total, Count: count}, nil
+}
+
+// Range returns the half-open global row interval [lo, hi) shard i
+// holds. i outside [0, Count) panics — like matrix row access, a bad
+// shard index is a programming bug.
+func (p Partition) Range(i int) (lo, hi int) {
+	if i < 0 || i >= p.Count {
+		panic(fmt.Sprintf("shard: index %d outside [0,%d)", i, p.Count))
+	}
+	base, rem := p.Total/p.Count, p.Total%p.Count
+	lo = i*base + min(i, rem)
+	hi = lo + base
+	if i < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// Rows returns the number of rows shard i holds.
+func (p Partition) Rows(i int) int {
+	lo, hi := p.Range(i)
+	return hi - lo
+}
+
+// Of returns the shard holding global row v. v outside [0, Total)
+// panics.
+func (p Partition) Of(v int) int {
+	if v < 0 || v >= p.Total {
+		panic(fmt.Sprintf("shard: row %d outside [0,%d)", v, p.Total))
+	}
+	base, rem := p.Total/p.Count, p.Total%p.Count
+	// The first rem shards hold base+1 rows each.
+	if cut := rem * (base + 1); v < cut {
+		return v / (base + 1)
+	} else {
+		return rem + (v-cut)/base
+	}
+}
+
+// Slice copies shard i of e: the full U side, the V rows of Range(i),
+// and the shard identity stamped into the meta fields so the slice is
+// self-describing (persisted as "#meta shard" by gebe.WriteEmbedding).
+// Solver diagnostics are carried over unchanged — a shard of a
+// converged embedding is still that embedding.
+func Slice(e *core.Embedding, p Partition, i int) *core.Embedding {
+	lo, hi := p.Range(i)
+	if e.V.Rows != p.Total {
+		panic(fmt.Sprintf("shard: partition covers %d items but embedding has %d", p.Total, e.V.Rows))
+	}
+	out := *e // shallow copy carries Method and the solver diagnostics
+	out.U = e.U.Clone()
+	out.V = dense.New(hi-lo, e.V.Cols)
+	copy(out.V.Data, e.V.Data[lo*e.V.Cols:hi*e.V.Cols])
+	if len(e.Values) > 0 {
+		out.Values = append([]float64(nil), e.Values...)
+	}
+	out.ShardIndex, out.ShardCount = i, p.Count
+	out.ShardOffset, out.ShardTotal = lo, p.Total
+	return &out
+}

@@ -1,0 +1,106 @@
+package shard
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"gebe/internal/core"
+	"gebe/internal/dense"
+)
+
+func TestPartitionCoversDisjointly(t *testing.T) {
+	for _, tc := range []struct{ total, count int }{
+		{10, 1}, {10, 2}, {10, 3}, {11, 4}, {7, 7}, {1000, 13},
+	} {
+		p, err := NewPartition(tc.total, tc.count)
+		if err != nil {
+			t.Fatalf("NewPartition(%d,%d): %v", tc.total, tc.count, err)
+		}
+		next := 0
+		for i := 0; i < p.Count; i++ {
+			lo, hi := p.Range(i)
+			if lo != next {
+				t.Fatalf("%d/%d shard %d starts at %d, want %d", tc.total, tc.count, i, lo, next)
+			}
+			if hi <= lo {
+				t.Fatalf("%d/%d shard %d is empty [%d,%d)", tc.total, tc.count, i, lo, hi)
+			}
+			if d := (hi - lo) - tc.total/tc.count; d != 0 && d != 1 {
+				t.Fatalf("%d/%d shard %d holds %d rows, want balanced", tc.total, tc.count, i, hi-lo)
+			}
+			for v := lo; v < hi; v++ {
+				if got := p.Of(v); got != i {
+					t.Fatalf("%d/%d Of(%d) = %d, want %d", tc.total, tc.count, v, got, i)
+				}
+			}
+			next = hi
+		}
+		if next != tc.total {
+			t.Fatalf("%d/%d covers %d rows", tc.total, tc.count, next)
+		}
+	}
+}
+
+func TestPartitionRejectsBadShapes(t *testing.T) {
+	for _, tc := range []struct{ total, count int }{
+		{-1, 2}, {10, 0}, {10, -3}, {3, 4},
+	} {
+		if _, err := NewPartition(tc.total, tc.count); err == nil {
+			t.Errorf("NewPartition(%d,%d) accepted", tc.total, tc.count)
+		}
+	}
+}
+
+// testEmb builds a deterministic embedding for slicing tests.
+func testEmb(nu, nv, k int) *core.Embedding {
+	rng := rand.New(rand.NewPCG(7, 1))
+	return &core.Embedding{
+		U: dense.Random(nu, k, rng), V: dense.Random(nv, k, rng),
+		Method: "gebep", SigmaScale: 1.25, Sweeps: 3, Converged: true,
+		StopReason: "converged", Values: []float64{3, 2, 1},
+	}
+}
+
+func TestSliceCarriesRowsAndMeta(t *testing.T) {
+	e := testEmb(6, 11, 4)
+	p, _ := NewPartition(11, 3)
+	covered := 0
+	for i := 0; i < p.Count; i++ {
+		s := Slice(e, p, i)
+		lo, hi := p.Range(i)
+		if s.ShardIndex != i || s.ShardCount != 3 || s.ShardOffset != lo || s.ShardTotal != 11 {
+			t.Fatalf("shard %d meta: %+v", i, s)
+		}
+		if !s.Sharded() {
+			t.Fatalf("shard %d not marked sharded", i)
+		}
+		if s.U.Rows != e.U.Rows || s.V.Rows != hi-lo {
+			t.Fatalf("shard %d shape %dx%d", i, s.U.Rows, s.V.Rows)
+		}
+		if s.Method != e.Method || s.SigmaScale != e.SigmaScale || !s.Converged {
+			t.Fatalf("shard %d dropped diagnostics: %+v", i, s)
+		}
+		for r := lo; r < hi; r++ {
+			got, want := s.V.Row(r-lo), e.V.Row(r)
+			for c := range want {
+				if math.Float64bits(got[c]) != math.Float64bits(want[c]) {
+					t.Fatalf("shard %d row %d differs from global row %d at col %d", i, r-lo, r, c)
+				}
+			}
+		}
+		// The slice must be a copy: mutating it may not reach the source.
+		s.V.Row(0)[0] += 1
+		s.U.Row(0)[0] += 1
+		covered += s.V.Rows
+	}
+	if covered != 11 {
+		t.Fatalf("slices cover %d rows", covered)
+	}
+	if e.V.Row(0)[0] != testEmb(6, 11, 4).V.Row(0)[0] {
+		t.Fatal("Slice aliases the source V matrix")
+	}
+	if e.U.Row(0)[0] != testEmb(6, 11, 4).U.Row(0)[0] {
+		t.Fatal("Slice aliases the source U matrix")
+	}
+}
